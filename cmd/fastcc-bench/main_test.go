@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable2(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{"-exp", "table2", "-scale-frostt", "0.001"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"nips", "chicago", "vast", "uber"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("missing %q in output:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestRunTable1WithPlatforms(t *testing.T) {
+	for _, p := range []string{"auto", "desktop8", "server64"} {
+		var stdout, stderr strings.Builder
+		if err := run([]string{"-exp", "table1", "-platform", p}, &stdout, &stderr); err != nil {
+			t.Fatalf("platform %s: %v", p, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "bogus"},
+		{"-platform", "bogus"},
+		{"-definitely-not-a-flag"},
+	}
+	for i, args := range cases {
+		var stdout, stderr strings.Builder
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("case %d (%v): want error", i, args)
+		}
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-exp", "table2", "-scale-frostt", "0.001", "-format", "csv"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "tensor,paper dims,paper nnz") {
+		t.Fatalf("csv header missing:\n%s", stdout.String())
+	}
+	if err := run([]string{"-format", "bogus"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Command tnsgen generates benchmark sparse tensors in FROSTT .tns format:
+//
+//	tnsgen -kind uniform -dims 1000x800x50 -nnz 100000 -out t.tns
+//	tnsgen -kind frostt -name chicago -scale 0.01 -out chicago.tns
+//	tnsgen -kind dlpno -name guanine -tensor vv -scale 0.25 -out te_vv.tns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"fastcc"
+	"fastcc/internal/coo"
+	"fastcc/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tnsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tnsgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind   = fs.String("kind", "uniform", "generator: uniform, frostt or dlpno")
+		name   = fs.String("name", "", "frostt tensor (nips/chicago/vast/uber) or molecule (guanine/caffeine)")
+		tensor = fs.String("tensor", "ov", "dlpno tensor: ov, oo or vv")
+		dims   = fs.String("dims", "", "uniform mode extents, e.g. 1000x800x50")
+		nnz    = fs.Int("nnz", 10000, "uniform nonzero count")
+		skew   = fs.Float64("skew", 1, "uniform coordinate skew (1 = uniform)")
+		scale  = fs.Float64("scale", 1, "shrink factor for frostt/dlpno presets")
+		seed   = fs.Uint64("seed", 42, "random seed")
+		out    = fs.String("out", "", "output file (default: stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var t *coo.Tensor
+	var err error
+	switch *kind {
+	case "uniform":
+		if *dims == "" {
+			return fmt.Errorf("-dims is required for -kind uniform")
+		}
+		var ds []uint64
+		for _, p := range strings.Split(*dims, "x") {
+			d, perr := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+			if perr != nil {
+				return fmt.Errorf("bad -dims %q: %v", *dims, perr)
+			}
+			ds = append(ds, d)
+		}
+		t, err = gen.Uniform(ds, *nnz, *seed, gen.Options{Skew: *skew})
+	case "frostt":
+		spec, ferr := gen.FrosttByName(*name)
+		if ferr != nil {
+			return ferr
+		}
+		t, err = spec.Scaled(*scale).Generate(*seed)
+	case "dlpno":
+		mol, merr := gen.MoleculeByName(*name)
+		if merr != nil {
+			return merr
+		}
+		m := mol.Scaled(*scale)
+		switch *tensor {
+		case "ov":
+			t = m.TEov()
+		case "oo":
+			t = m.TEoo()
+		case "vv":
+			t = m.TEvv()
+		default:
+			return fmt.Errorf("unknown -tensor %q (want ov, oo or vv)", *tensor)
+		}
+	default:
+		return fmt.Errorf("unknown -kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stderr, "generated %v\n", t)
+	if *out == "" {
+		return fastcc.WriteTNS(stdout, t)
+	}
+	return fastcc.SaveTNS(*out, t)
+}

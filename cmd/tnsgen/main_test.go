@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fastcc"
+)
+
+func TestGenerateUniformToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "u.tns")
+	var stdout, stderr strings.Builder
+	err := run([]string{"-kind", "uniform", "-dims", "20x30x10", "-nnz", "150", "-seed", "7", "-out", out}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := fastcc.LoadTNS(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Order() != 3 || tn.NNZ() != 150 {
+		t.Fatalf("got %v", tn)
+	}
+	if !strings.Contains(stderr.String(), "generated") {
+		t.Fatal("missing summary on stderr")
+	}
+}
+
+func TestGenerateFrosttToStdout(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{"-kind", "frostt", "-name", "uber", "-scale", "0.001"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := fastcc.ReadTNS(strings.NewReader(stdout.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Order() != 4 || tn.NNZ() == 0 {
+		t.Fatalf("got %v", tn)
+	}
+}
+
+func TestGenerateDLPNO(t *testing.T) {
+	for _, tensor := range []string{"ov", "oo", "vv"} {
+		var stdout, stderr strings.Builder
+		err := run([]string{"-kind", "dlpno", "-name", "caffeine", "-tensor", tensor, "-scale", "0.02"}, &stdout, &stderr)
+		if err != nil {
+			t.Fatalf("%s: %v", tensor, err)
+		}
+		if _, err := fastcc.ReadTNS(strings.NewReader(stdout.String())); err != nil {
+			t.Fatalf("%s output unparseable: %v", tensor, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "bogus"},
+		{"-kind", "uniform"},                  // missing dims
+		{"-kind", "uniform", "-dims", "axb"},  // bad dims
+		{"-kind", "frostt", "-name", "bogus"}, // unknown tensor
+		{"-kind", "dlpno", "-name", "bogus"},  // unknown molecule
+		{"-kind", "dlpno", "-name", "guanine", "-tensor", "xx"},
+	}
+	for i, args := range cases {
+		var stdout, stderr strings.Builder
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("case %d (%v): want error", i, args)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package fastcc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Einsum contracts two tensors written in Einstein summation notation, the
+// idiom of the paper's quantum-chemistry examples:
+//
+//	// Int_ovov(i,μ,j,ν) = Σ_k TE_ov(i,μ,k) · TE_ov(j,ν,k)
+//	out, stats, err := fastcc.Einsum("iak,jbk->iajb", teOV, teOV)
+//
+// The expression has the form "LHS1,LHS2->RHS" where each side is a string
+// of single-letter mode labels. Labels appearing in both inputs and not in
+// the output are contracted (summed); labels appearing in one input and
+// the output are external. Restrictions, checked and reported as errors:
+//
+//   - every label appears at most once per operand (no self-traces);
+//   - each contracted label appears in both operands;
+//   - the output must list every external label exactly once, ordered as
+//     "left externals then right externals" (the engine's output layout;
+//     arbitrary output permutations would need a transpose pass);
+//   - batch (elementwise) labels appearing in both inputs AND the output
+//     are not supported — this is a contraction engine, not a general
+//     einsum evaluator.
+func Einsum(expr string, l, r *Tensor, opts ...Option) (*Tensor, *Stats, error) {
+	spec, err := ParseEinsum(expr, l.Order(), r.Order())
+	if err != nil {
+		return nil, nil, err
+	}
+	return Contract(l, r, spec, opts...)
+}
+
+// ParseEinsum parses "ab...,bc...->ac..." into a contraction Spec, checking
+// it against the operand orders. Exposed so callers can parse once and
+// contract many times.
+func ParseEinsum(expr string, lOrder, rOrder int) (Spec, error) {
+	lhs, rhs, ok := strings.Cut(expr, "->")
+	if !ok {
+		return Spec{}, fmt.Errorf("einsum: %q has no \"->\"", expr)
+	}
+	left, right, ok := strings.Cut(lhs, ",")
+	if !ok {
+		return Spec{}, fmt.Errorf("einsum: %q needs exactly two comma-separated operands", expr)
+	}
+	lLabels := []rune(strings.TrimSpace(left))
+	rLabels := []rune(strings.TrimSpace(right))
+	oLabels := []rune(strings.TrimSpace(rhs))
+	if len(lLabels) != lOrder {
+		return Spec{}, fmt.Errorf("einsum: left operand has %d modes but %q has %d labels", lOrder, left, len(lLabels))
+	}
+	if len(rLabels) != rOrder {
+		return Spec{}, fmt.Errorf("einsum: right operand has %d modes but %q has %d labels", rOrder, right, len(rLabels))
+	}
+
+	lPos, err := labelPositions(lLabels, "left")
+	if err != nil {
+		return Spec{}, err
+	}
+	rPos, err := labelPositions(rLabels, "right")
+	if err != nil {
+		return Spec{}, err
+	}
+	oPos, err := labelPositions(oLabels, "output")
+	if err != nil {
+		return Spec{}, err
+	}
+
+	var spec Spec
+	var extLeft, extRight []rune
+	for _, lab := range lLabels {
+		_, inR := rPos[lab]
+		_, inO := oPos[lab]
+		switch {
+		case inR && inO:
+			return Spec{}, fmt.Errorf("einsum: label %q appears in both inputs and the output (batch modes unsupported)", lab)
+		case inR:
+			spec.CtrLeft = append(spec.CtrLeft, lPos[lab])
+			spec.CtrRight = append(spec.CtrRight, rPos[lab])
+		case inO:
+			extLeft = append(extLeft, lab)
+		default:
+			return Spec{}, fmt.Errorf("einsum: left label %q appears nowhere else (free summation unsupported)", lab)
+		}
+	}
+	for _, lab := range rLabels {
+		if _, inL := lPos[lab]; inL {
+			continue // contracted, handled above
+		}
+		if _, inO := oPos[lab]; !inO {
+			return Spec{}, fmt.Errorf("einsum: right label %q appears nowhere else (free summation unsupported)", lab)
+		}
+		extRight = append(extRight, lab)
+	}
+
+	// The engine emits left externals (in operand order) then right
+	// externals; the output spelling must match.
+	want := append(append([]rune{}, extLeft...), extRight...)
+	if len(oLabels) != len(want) {
+		return Spec{}, fmt.Errorf("einsum: output %q must have %d labels (the externals), got %d", rhs, len(want), len(oLabels))
+	}
+	for i := range want {
+		if oLabels[i] != want[i] {
+			return Spec{}, fmt.Errorf("einsum: output %q must spell the externals as %q (left externals then right, in operand order)", rhs, string(want))
+		}
+	}
+	if len(spec.CtrLeft) == 0 {
+		return Spec{}, fmt.Errorf("einsum: %q contracts no labels", expr)
+	}
+	return spec, nil
+}
+
+func labelPositions(labels []rune, side string) (map[rune]int, error) {
+	pos := make(map[rune]int, len(labels))
+	for i, lab := range labels {
+		if lab == ' ' {
+			return nil, fmt.Errorf("einsum: unexpected space inside %s labels", side)
+		}
+		if _, dup := pos[lab]; dup {
+			return nil, fmt.Errorf("einsum: label %q repeated in %s operand (traces unsupported)", lab, side)
+		}
+		pos[lab] = i
+	}
+	return pos, nil
+}

@@ -1,0 +1,128 @@
+package fastcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastcc/internal/ref"
+)
+
+func TestEinsumMatrixMultiply(t *testing.T) {
+	l := NewTensor([]uint64{2, 3}, 3)
+	l.Append([]uint64{0, 0}, 1)
+	l.Append([]uint64{0, 2}, 2)
+	l.Append([]uint64{1, 1}, 3)
+	r := NewTensor([]uint64{3, 2}, 3)
+	r.Append([]uint64{0, 1}, 4)
+	r.Append([]uint64{2, 0}, 5)
+	r.Append([]uint64{1, 1}, 6)
+	out, _, err := Einsum("ik,kj->ij", l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At([]uint64{0, 1}) != 4 || out.At([]uint64{0, 0}) != 10 || out.At([]uint64{1, 1}) != 18 {
+		t.Fatalf("einsum result wrong: %v %v", out.Coords, out.Vals)
+	}
+}
+
+func TestEinsumQuantumChemistryForm(t *testing.T) {
+	// The paper's ovov contraction: Int(i,a,j,b) = Σ_k TE(i,a,k)·TE(j,b,k).
+	rng := rand.New(rand.NewSource(4))
+	te := randomTensor(rng, []uint64{4, 6, 5}, 40)
+	out, _, err := Einsum("iak,jbk->iajb", te, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Contract(te, te, Spec{CtrLeft: []int{2}, CtrRight: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(out, want) {
+		t.Fatal("einsum disagrees with explicit spec")
+	}
+	if len(out.Dims) != 4 || out.Dims[0] != 4 || out.Dims[1] != 6 {
+		t.Fatalf("output dims %v", out.Dims)
+	}
+}
+
+func TestEinsumMultipleContractionIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := randomTensor(rng, []uint64{3, 4, 5}, 30)
+	r := randomTensor(rng, []uint64{5, 4, 6}, 30)
+	// Contract k (l mode 2 ↔ r mode 0) and j (l mode 1 ↔ r mode 1).
+	out, _, err := Einsum("ijk,kjm->im", l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Contract(l, r, Spec{CtrLeft: []int{2, 1}, CtrRight: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(out, want) {
+		t.Fatal("multi-index einsum wrong")
+	}
+}
+
+func TestEinsumScalarOutput(t *testing.T) {
+	l := NewTensor([]uint64{3, 3}, 2)
+	l.Append([]uint64{0, 1}, 2)
+	l.Append([]uint64{2, 2}, 3)
+	out, _, err := Einsum("ij,ij->", l, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Order() != 0 || out.NNZ() != 1 || out.Vals[0] != 13 {
+		t.Fatalf("frobenius inner product: %v", out)
+	}
+}
+
+func TestParseEinsumSpec(t *testing.T) {
+	spec, err := ParseEinsum("abk,kcd->abcd", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.CtrLeft) != 1 || spec.CtrLeft[0] != 2 || spec.CtrRight[0] != 0 {
+		t.Fatalf("spec %+v", spec)
+	}
+}
+
+func TestEinsumErrors(t *testing.T) {
+	cases := []struct {
+		expr           string
+		lOrder, rOrder int
+	}{
+		{"ij,jk", 2, 2},      // no arrow
+		{"ijjk->ik", 2, 2},   // no comma
+		{"ij,jk->ik", 3, 2},  // arity mismatch left
+		{"ij,jk->ik", 2, 3},  // arity mismatch right
+		{"ii,ik->k", 2, 2},   // trace
+		{"ij,jk->ki", 2, 2},  // output permuted
+		{"ij,jk->ijk", 2, 2}, // batch label j in output
+		{"ij,kl->il", 2, 2},  // j and k appear nowhere else
+		{"ij,jk->i", 2, 2},   // missing external k
+		{"ij,kj->ikj", 2, 2}, // contracted j in output
+		{"i j,jk->ik", 3, 2}, // space in labels
+		{"ij,ji->", 2, 2},    // ok actually? i and j both contracted → valid!
+	}
+	for i, c := range cases[:len(cases)-1] {
+		if _, err := ParseEinsum(c.expr, c.lOrder, c.rOrder); err == nil {
+			t.Errorf("case %d %q: want error", i, c.expr)
+		}
+	}
+	// Double contraction is legal.
+	if _, err := ParseEinsum("ij,ji->", 2, 2); err != nil {
+		t.Fatalf("ij,ji-> should parse: %v", err)
+	}
+}
+
+func TestEinsumOptionsPassThrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomTensor(rng, []uint64{20, 10}, 50)
+	_, stats, err := Einsum("ik,jk->ij", a, a, WithThreads(2), WithTileSize(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TileL != 16 || stats.Threads != 2 {
+		t.Fatalf("options ignored: %+v", stats)
+	}
+}

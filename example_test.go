@@ -1,0 +1,103 @@
+package fastcc_test
+
+import (
+	"fmt"
+	"sort"
+
+	"fastcc"
+)
+
+// Contract two sparse matrices (a 2-mode contraction is ordinary sparse
+// matrix multiplication).
+func ExampleContract() {
+	l := fastcc.NewTensor([]uint64{2, 2}, 2)
+	l.Append([]uint64{0, 0}, 1)
+	l.Append([]uint64{0, 1}, 2)
+	r := fastcc.NewTensor([]uint64{2, 2}, 2)
+	r.Append([]uint64{0, 0}, 3)
+	r.Append([]uint64{1, 0}, 4)
+
+	out, _, err := fastcc.Contract(l, r, fastcc.Spec{
+		CtrLeft:  []int{1},
+		CtrRight: []int{0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	out.Sort()
+	fmt.Println("O[0,0] =", out.At([]uint64{0, 0}))
+	// Output:
+	// O[0,0] = 11
+}
+
+// The same contraction in Einstein notation.
+func ExampleEinsum() {
+	l := fastcc.NewTensor([]uint64{2, 3}, 1)
+	l.Append([]uint64{1, 2}, 5)
+	r := fastcc.NewTensor([]uint64{3, 2}, 1)
+	r.Append([]uint64{2, 0}, 7)
+
+	out, _, err := fastcc.Einsum("ik,kj->ij", l, r)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("O[1,0] =", out.At([]uint64{1, 0}))
+	// Output:
+	// O[1,0] = 35
+}
+
+// A FROSTT-style self-contraction: the tensor contracted with itself over
+// one mode.
+func ExampleSelfContract() {
+	t := fastcc.NewTensor([]uint64{2, 2}, 2)
+	t.Append([]uint64{0, 1}, 2)
+	t.Append([]uint64{1, 1}, 3)
+
+	out, stats, err := fastcc.SelfContract(t, []int{1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("output order:", out.Order())
+	fmt.Println("accumulator:", stats.Decision.Kind)
+	// Output:
+	// output order: 2
+	// accumulator: dense
+}
+
+// A three-tensor network evaluated with model-driven pairwise planning.
+func ExampleEinsumN() {
+	t1 := fastcc.NewTensor([]uint64{2, 2}, 1)
+	t1.Append([]uint64{0, 1}, 2)
+	t2 := fastcc.NewTensor([]uint64{2, 2}, 1)
+	t2.Append([]uint64{1, 0}, 3)
+	t3 := fastcc.NewTensor([]uint64{2, 2}, 1)
+	t3.Append([]uint64{0, 1}, 4)
+
+	out, plan, err := fastcc.EinsumN("ik,kl,lm->im", []*fastcc.Tensor{t1, t2, t3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("steps:", len(plan.Steps))
+	fmt.Println("O[0,1] =", out.At([]uint64{0, 1}))
+	// Output:
+	// steps: 2
+	// O[0,1] = 24
+}
+
+// Inspect the probabilistic model's decision without contracting.
+func ExampleStats() {
+	t := fastcc.NewTensor([]uint64{64, 64}, 3)
+	t.Append([]uint64{1, 2}, 1)
+	t.Append([]uint64{3, 4}, 1)
+	t.Append([]uint64{5, 6}, 1)
+
+	_, stats, err := fastcc.SelfContract(t, []int{1}, fastcc.WithPlatform(fastcc.Desktop8))
+	if err != nil {
+		panic(err)
+	}
+	kinds := []string{stats.Decision.Kind.String()}
+	sort.Strings(kinds)
+	fmt.Println("dense tile bound:", stats.Decision.DenseT)
+	// Output:
+	// dense tile bound: 512
+}

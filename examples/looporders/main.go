@@ -1,0 +1,58 @@
+// Loop-order analysis example: reproduce the paper's Section 3 analysis
+// empirically. The same contraction runs under the contraction-inner (CI),
+// contraction-middle (CM) and contraction-outer (CO) loop orders with
+// instrumented engines, printing hash queries, retrieved data volume and
+// accumulator footprint — the three columns of paper Table 1.
+//
+//	go run ./examples/looporders
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastcc/internal/baselines"
+	"fastcc/internal/gen"
+	"fastcc/internal/metrics"
+)
+
+func main() {
+	const extL, extR, ctrC, nnz = 512, 512, 128, 8000
+	l, err := gen.UniformMatrix(extL, ctrC, nnz, 1, gen.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := gen.UniformMatrix(extR, ctrC, nnz, 2, gen.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("contraction: O[%d x %d] = L[%d x %d] · R[%d x %d], nnz=%d each\n\n",
+		extL, extR, extL, ctrC, ctrC, extR, nnz)
+
+	var ci, cm, co metrics.Counters
+	if _, err := baselines.HashCI(l, r, &ci); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := baselines.SpartaCM(l, r, 1, &cm); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := baselines.UntiledCO(l, r, &co); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s %12s %14s %12s\n", "scheme", "queries", "data volume", "ws (words)")
+	for _, row := range []struct {
+		name string
+		s    metrics.Snapshot
+	}{
+		{"CI", ci.Snapshot()},
+		{"CM", cm.Snapshot()},
+		{"CO", co.Snapshot()},
+	} {
+		fmt.Printf("%-8s %12d %14d %12d\n", row.name, row.s.Queries, row.s.Volume, row.s.WorkspaceWords)
+	}
+
+	fmt.Println("\nCO touches each input nonzero exactly once but needs an L·R workspace;")
+	fmt.Println("FaSTCC keeps CO's minimal traffic while tiling the workspace into cache")
+	fmt.Println("(paper Sections 3.4-3.5).")
+}

@@ -1,0 +1,48 @@
+// Quantum-chemistry example: the three DLPNO-CCSD four-center integral
+// assemblies of the paper (ovov, vvoo, vvov) on a synthetic Guanine-like
+// molecule. Three-center integral tensors TE_ov/TE_vv/TE_oo are contracted
+// over the auxiliary fitting index k to produce 4-mode integral tensors.
+//
+//	go run ./examples/quantumchem [-scale 0.25] [-molecule guanine]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fastcc"
+	"fastcc/internal/gen"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "orbital-space scale (1 = full preset)")
+	name := flag.String("molecule", "guanine", "molecule: guanine or caffeine")
+	flag.Parse()
+
+	mol, err := gen.MoleculeByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := mol.Scaled(*scale)
+	fmt.Printf("%s @ scale %g: nocc=%d nvirt=%d naux=%d\n\n", m.Name, *scale, m.NOcc, m.NVirt, m.NAux)
+
+	for _, kind := range gen.QCKinds {
+		l, r, spec, err := m.Contraction(kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: L=%v (density %.3g) x R=%v (density %.3g)\n",
+			kind, l.Dims, l.Density(), r.Dims, r.Density())
+		out, stats, err := fastcc.Contract(l, r,
+			fastcc.Spec{CtrLeft: spec.CtrLeft, CtrRight: spec.CtrRight})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  -> Int%v nnz=%d accumulator=%s tile=%d tasks=%d time=%v\n\n",
+			out.Dims, out.NNZ(), stats.Decision.Kind, stats.TileL, stats.Tasks, stats.Total)
+	}
+
+	fmt.Println("TE_vv slices are dense (diffuse virtuals) while TE_oo is very sparse —")
+	fmt.Println("the density spread that drives the paper's accumulator model (Table 3).")
+}

@@ -1,0 +1,249 @@
+// Package fastcc is a pure-Go implementation of FaSTCC — Fast Sparse
+// Tensor Contractions on CPUs (Raje et al., SC '25).
+//
+// FaSTCC contracts two sparse tensors in COO format:
+//
+//	O[ext_L, ext_R] = Σ_c  L[ext_L, c] · R[c, ext_R]
+//
+// using a 2D-tiled contraction-index-outer scheme: the linearized output
+// index space is partitioned into tiles, the inputs are sharded into
+// per-tile open-addressing hash tables keyed by the contraction index, and
+// tile–tile contractions run as dynamically scheduled parallel tasks. A
+// probabilistic model picks a dense or sparse accumulator per contraction
+// and sizes tiles to the last-level cache.
+//
+// Quick start:
+//
+//	out, stats, err := fastcc.Contract(l, r, fastcc.Spec{
+//		CtrLeft:  []int{2},        // contract mode 2 of l ...
+//		CtrRight: []int{0},        // ... against mode 0 of r
+//	})
+//
+// The output tensor's modes are the left operand's external (uncontracted)
+// modes followed by the right operand's, in their original order.
+package fastcc
+
+import (
+	"fmt"
+	"time"
+
+	"fastcc/internal/coo"
+	"fastcc/internal/core"
+	"fastcc/internal/metrics"
+	"fastcc/internal/model"
+)
+
+// Tensor is an N-mode sparse tensor in COO format (see coo.Tensor for the
+// invariants). Construct with NewTensor and Append, or parse with ReadTNS.
+type Tensor = coo.Tensor
+
+// Spec names the contracted modes: mode CtrLeft[k] of the left operand is
+// summed against mode CtrRight[k] of the right operand.
+type Spec = coo.Spec
+
+// Platform describes the machine parameters (cores, LLC bytes, word size)
+// the tile-size model uses. See Desktop8, Server64 and AutoPlatform.
+type Platform = model.Platform
+
+// AccumKind selects the output tile accumulator (dense or sparse).
+type AccumKind = model.AccumKind
+
+// Accumulator kinds.
+const (
+	AccumAuto   = model.AccumAuto
+	AccumDense  = model.AccumDense
+	AccumSparse = model.AccumSparse
+)
+
+// Platform profiles matching the paper's evaluation machines, plus the
+// host-derived default.
+var (
+	Desktop8 = model.Desktop8
+	Server64 = model.Server64
+)
+
+// AutoPlatform returns a platform profile for the current machine.
+func AutoPlatform() Platform { return model.Auto() }
+
+// NewTensor returns an empty tensor with the given mode extents.
+func NewTensor(dims []uint64, capHint int) *Tensor { return coo.New(dims, capHint) }
+
+// Stats reports everything one contraction run decided and measured.
+type Stats struct {
+	// Decision is the probabilistic model's output (densities, expected
+	// tile nonzeros, accumulator kind, tile sizes).
+	Decision model.Decision
+	// TileL, TileR are the tile sizes actually used.
+	TileL, TileR uint64
+	// NL, NR are the tile-grid dimensions; Tasks the executed tile pairs.
+	NL, NR, Tasks int
+	// Threads is the worker count used.
+	Threads int
+	// OutputNNZ is the number of nonzeros in the output.
+	OutputNNZ int
+
+	// Phase timings. Total = Linearize + Build + Contract + Concat +
+	// Delinearize; linearization and delinearization are included in the
+	// measured time exactly as in the paper.
+	Linearize   time.Duration
+	Build       time.Duration
+	Contract    time.Duration
+	Concat      time.Duration
+	Delinearize time.Duration
+	Total       time.Duration
+
+	// Counters holds data-access statistics when metrics were requested.
+	Counters metrics.Snapshot
+}
+
+// String renders the stats on two lines for logs.
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"fastcc: accumulator=%s tile=%dx%d grid=%dx%d tasks=%d threads=%d out_nnz=%d\n"+
+			"fastcc: total=%v (linearize=%v build=%v contract=%v concat=%v delinearize=%v)",
+		s.Decision.Kind, s.TileL, s.TileR, s.NL, s.NR, s.Tasks, s.Threads, s.OutputNNZ,
+		s.Total, s.Linearize, s.Build, s.Contract, s.Concat, s.Delinearize)
+}
+
+// InputRep selects the input-tile representation: the paper's hash tables
+// (RepHash, default) or radix-sorted grouped arrays with merge
+// co-iteration (RepSorted, an engineering ablation).
+type InputRep = core.InputRep
+
+// Input representations.
+const (
+	RepHash   = core.RepHash
+	RepSorted = core.RepSorted
+)
+
+// options is the resolved option set.
+type options struct {
+	threads      int
+	tileL, tileR uint64
+	accum        model.AccumKind
+	platform     model.Platform
+	counters     *metrics.Counters
+	rep          core.InputRep
+}
+
+// Option configures Contract.
+type Option func(*options)
+
+// WithThreads sets the worker count (default: GOMAXPROCS).
+func WithThreads(n int) Option { return func(o *options) { o.threads = n } }
+
+// WithTileSize overrides the model's tile sizes. With a dense accumulator
+// tr must be a power of two. Zero leaves a dimension model-chosen.
+func WithTileSize(tl, tr uint64) Option {
+	return func(o *options) { o.tileL, o.tileR = tl, tr }
+}
+
+// WithAccumulator forces a dense or sparse tile accumulator.
+func WithAccumulator(k AccumKind) Option { return func(o *options) { o.accum = k } }
+
+// WithPlatform sets the platform profile used by the tile-size model.
+func WithPlatform(p Platform) Option { return func(o *options) { o.platform = p } }
+
+// WithMetrics enables data-access counter collection into Stats.Counters.
+func WithMetrics() Option {
+	return func(o *options) { o.counters = &metrics.Counters{} }
+}
+
+// WithInputRep selects the input-tile representation (default RepHash).
+func WithInputRep(rep InputRep) Option { return func(o *options) { o.rep = rep } }
+
+// Contract contracts l and r per spec and returns the output tensor (in
+// COO, sorted order unspecified, duplicates absent) together with run
+// statistics.
+func Contract(l, r *Tensor, spec Spec, opts ...Option) (*Tensor, *Stats, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if err := spec.Validate(l, r); err != nil {
+		return nil, nil, err
+	}
+	if err := l.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("left operand: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("right operand: %w", err)
+	}
+
+	st := &Stats{}
+	tStart := time.Now()
+
+	// Pre-processing: linearize mode groups (timed, per the paper).
+	t0 := time.Now()
+	extL := coo.ExternalModes(l.Order(), spec.CtrLeft)
+	extR := coo.ExternalModes(r.Order(), spec.CtrRight)
+	lm, err := l.Matrixize(extL, spec.CtrLeft)
+	if err != nil {
+		return nil, nil, err
+	}
+	rm, err := r.Matrixize(extR, spec.CtrRight)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Linearize = time.Since(t0)
+
+	out, cst, err := core.Contract(lm, rm, core.Config{
+		Threads:  o.threads,
+		TileL:    o.tileL,
+		TileR:    o.tileR,
+		Accum:    o.accum,
+		Platform: o.platform,
+		Counters: o.counters,
+		Rep:      o.rep,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Decision = cst.Decision
+	st.TileL, st.TileR = cst.TileL, cst.TileR
+	st.NL, st.NR, st.Tasks = cst.NL, cst.NR, cst.Tasks
+	st.Threads = cst.Threads
+	st.OutputNNZ = cst.OutputNNZ
+	st.Build = cst.BuildTime
+	st.Contract = cst.ContractTime
+	st.Concat = cst.ConcatTime
+
+	// Post-processing: de-linearize output coordinates (timed).
+	t0 = time.Now()
+	n := out.Len()
+	ls := make([]uint64, 0, n)
+	rs := make([]uint64, 0, n)
+	vs := make([]float64, 0, n)
+	out.ForEach(func(t core.Triple) {
+		ls = append(ls, t.L)
+		rs = append(rs, t.R)
+		vs = append(vs, t.V)
+	})
+	lDims := make([]uint64, len(extL))
+	for i, m := range extL {
+		lDims[i] = l.Dims[m]
+	}
+	rDims := make([]uint64, len(extR))
+	for i, m := range extR {
+		rDims[i] = r.Dims[m]
+	}
+	result, err := coo.FromPairsP(ls, rs, vs, lDims, rDims, st.Threads)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Delinearize = time.Since(t0)
+	st.Total = time.Since(tStart)
+	st.Counters = o.counters.Snapshot()
+	return result, st, nil
+}
+
+// SelfContract contracts a tensor with itself over the given modes — the
+// FROSTT evaluation pattern (e.g. Chicago 01 contracts modes 0 and 1 of the
+// Chicago tensor against the same modes of a second copy).
+func SelfContract(t *Tensor, modes []int, opts ...Option) (*Tensor, *Stats, error) {
+	spec := Spec{
+		CtrLeft:  append([]int(nil), modes...),
+		CtrRight: append([]int(nil), modes...),
+	}
+	return Contract(t, t, spec, opts...)
+}

@@ -1,0 +1,34 @@
+package fastcc
+
+import "testing"
+
+func FuzzParseEinsum(f *testing.F) {
+	f.Add("ij,jk->ik", 2, 2)
+	f.Add("iak,jbk->iajb", 3, 3)
+	f.Add("abc,cd->abd", 3, 2)
+	f.Add("", 0, 0)
+	f.Add("->", 1, 1)
+	f.Fuzz(func(t *testing.T, expr string, lo, ro int) {
+		if lo < 0 || ro < 0 || lo > 16 || ro > 16 {
+			return
+		}
+		spec, err := ParseEinsum(expr, lo, ro) // must never panic
+		if err != nil {
+			return
+		}
+		// Accepted specs must be structurally sound.
+		if len(spec.CtrLeft) != len(spec.CtrRight) || len(spec.CtrLeft) == 0 {
+			t.Fatalf("accepted malformed spec %+v for %q", spec, expr)
+		}
+		for _, m := range spec.CtrLeft {
+			if m < 0 || m >= lo {
+				t.Fatalf("left mode %d out of range for %q", m, expr)
+			}
+		}
+		for _, m := range spec.CtrRight {
+			if m < 0 || m >= ro {
+				t.Fatalf("right mode %d out of range for %q", m, expr)
+			}
+		}
+	})
+}

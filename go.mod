@@ -1,0 +1,3 @@
+module fastcc
+
+go 1.22

@@ -1,0 +1,211 @@
+package accum
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// exerciseAgainstMap drives an accumulator with random upserts and checks
+// the drain against a map model, twice, to verify reuse after drain.
+func exerciseAgainstMap(t *testing.T, a Accumulator, tl, tr uint32, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for round := 0; round < 2; round++ {
+		model := map[[2]uint32]float64{}
+		n := rng.Intn(500)
+		for i := 0; i < n; i++ {
+			l := uint32(rng.Intn(int(tl)))
+			r := uint32(rng.Intn(int(tr)))
+			v := float64(rng.Intn(9) - 4)
+			a.Upsert(l, r, v)
+			model[[2]uint32{l, r}] += v
+		}
+		if a.Len() != len(model) {
+			t.Fatalf("round %d: Len=%d want %d", round, a.Len(), len(model))
+		}
+		got := map[[2]uint32]float64{}
+		a.Drain(func(l, r uint32, v float64) {
+			k := [2]uint32{l, r}
+			if _, dup := got[k]; dup {
+				t.Fatalf("round %d: position (%d,%d) drained twice", round, l, r)
+			}
+			got[k] = v
+		})
+		if len(got) != len(model) {
+			t.Fatalf("round %d: drained %d want %d", round, len(got), len(model))
+		}
+		for k, want := range model {
+			if got[k] != want {
+				t.Fatalf("round %d: (%d,%d)=%g want %g", round, k[0], k[1], got[k], want)
+			}
+		}
+		if a.Len() != 0 {
+			t.Fatalf("round %d: Len=%d after drain", round, a.Len())
+		}
+	}
+}
+
+func TestDenseAgainstMap(t *testing.T) {
+	exerciseAgainstMap(t, NewDense(13, 16), 13, 16, 1)
+}
+
+func TestSparseAgainstMap(t *testing.T) {
+	exerciseAgainstMap(t, NewSparse(4), 1<<10, 1<<10, 2)
+}
+
+func TestDenseRequiresPow2TR(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for non-power-of-two TR")
+		}
+	}()
+	NewDense(8, 12)
+}
+
+func TestDenseResetClearsState(t *testing.T) {
+	d := NewDense(4, 4)
+	d.Upsert(1, 2, 5)
+	d.Upsert(3, 3, 1)
+	d.Reset()
+	if d.Len() != 0 {
+		t.Fatal("Len after Reset")
+	}
+	d.Upsert(1, 2, 7)
+	seen := 0
+	d.Drain(func(l, r uint32, v float64) {
+		seen++
+		if l != 1 || r != 2 || v != 7 {
+			t.Fatalf("stale value: (%d,%d)=%g", l, r, v)
+		}
+	})
+	if seen != 1 {
+		t.Fatalf("drained %d entries", seen)
+	}
+}
+
+func TestDenseDrainIsNNZProportional(t *testing.T) {
+	// A huge tile with 3 nonzeros must drain exactly 3 entries (apos path).
+	d := NewDense(1<<10, 1<<10)
+	d.Upsert(0, 0, 1)
+	d.Upsert(1023, 1023, 2)
+	d.Upsert(512, 1, 3)
+	count := 0
+	d.Drain(func(_, _ uint32, _ float64) { count++ })
+	if count != 3 {
+		t.Fatalf("drained %d", count)
+	}
+}
+
+func TestDenseCornerPositions(t *testing.T) {
+	d := NewDense(8, 8)
+	d.Upsert(0, 0, 1)
+	d.Upsert(7, 7, 2)
+	d.Upsert(0, 7, 3)
+	d.Upsert(7, 0, 4)
+	got := map[[2]uint32]float64{}
+	d.Drain(func(l, r uint32, v float64) { got[[2]uint32{l, r}] = v })
+	want := map[[2]uint32]float64{{0, 0}: 1, {7, 7}: 2, {0, 7}: 3, {7, 0}: 4}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("(%d,%d)=%g want %g", k[0], k[1], got[k], v)
+		}
+	}
+}
+
+func TestSparseLargeIndices(t *testing.T) {
+	s := NewSparse(0)
+	s.Upsert(1<<20, 1<<21, 1.5)
+	s.Upsert(1<<20, 1<<21, 0.5)
+	s.Upsert(0, 1<<21, 1)
+	found := map[[2]uint32]float64{}
+	s.Drain(func(l, r uint32, v float64) { found[[2]uint32{l, r}] = v })
+	if found[[2]uint32{1 << 20, 1 << 21}] != 2.0 || found[[2]uint32{0, 1 << 21}] != 1 {
+		t.Fatalf("got %v", found)
+	}
+}
+
+func TestAccumulatorEquivalenceProperty(t *testing.T) {
+	// Dense and Sparse must produce identical drains for identical input
+	// streams (the model may pick either; results must not depend on it).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const tl, tr = 16, 32
+		d := NewDense(tl, tr)
+		s := NewSparse(8)
+		n := rng.Intn(300)
+		for i := 0; i < n; i++ {
+			l := uint32(rng.Intn(tl))
+			r := uint32(rng.Intn(tr))
+			v := float64(rng.Intn(5) - 2)
+			d.Upsert(l, r, v)
+			s.Upsert(l, r, v)
+		}
+		dm := map[[2]uint32]float64{}
+		sm := map[[2]uint32]float64{}
+		d.Drain(func(l, r uint32, v float64) { dm[[2]uint32{l, r}] = v })
+		s.Drain(func(l, r uint32, v float64) { sm[[2]uint32{l, r}] = v })
+		if len(dm) != len(sm) {
+			return false
+		}
+		for k, v := range dm {
+			if sm[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDenseUpsert(b *testing.B) {
+	d := NewDense(512, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Upsert(uint32(i)&511, uint32(i*7)&511, 1)
+		if i&0xFFFF == 0xFFFF {
+			d.Reset()
+		}
+	}
+}
+
+func BenchmarkSparseUpsert(b *testing.B) {
+	s := NewSparse(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Upsert(uint32(i)&4095, uint32(i*7)&4095, 1)
+		if i&0xFFFF == 0xFFFF {
+			s.Reset()
+		}
+	}
+}
+
+func TestSparseRobinAgainstMap(t *testing.T) {
+	exerciseAgainstMap(t, NewSparseRobin(4), 1<<10, 1<<10, 5)
+}
+
+func TestSparseRobinMatchesSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b := NewSparse(8), NewSparseRobin(8)
+	for i := 0; i < 5000; i++ {
+		l := uint32(rng.Intn(1 << 12))
+		r := uint32(rng.Intn(1 << 12))
+		v := float64(rng.Intn(7) - 3)
+		a.Upsert(l, r, v)
+		b.Upsert(l, r, v)
+	}
+	am := map[[2]uint32]float64{}
+	bm := map[[2]uint32]float64{}
+	a.Drain(func(l, r uint32, v float64) { am[[2]uint32{l, r}] = v })
+	b.Drain(func(l, r uint32, v float64) { bm[[2]uint32{l, r}] = v })
+	if len(am) != len(bm) {
+		t.Fatalf("lens %d vs %d", len(am), len(bm))
+	}
+	for k, v := range am {
+		if bm[k] != v {
+			t.Fatalf("disagree at %v: %g vs %g", k, v, bm[k])
+		}
+	}
+}

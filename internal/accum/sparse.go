@@ -1,0 +1,78 @@
+package accum
+
+import "fastcc/internal/hashtable"
+
+// Sparse is the sparse tile accumulator of paper Section 5.4: an
+// open-addressing hash table keyed by the packed intra-tile position
+// (l<<32 | r), 16 bytes per entry. It permits tiles far larger than the
+// dense limit sqrt(L3/(N*DT)) when the output is ultra-sparse.
+type Sparse struct {
+	t *hashtable.FloatTable
+}
+
+// NewSparse returns a sparse accumulator sized for about hint nonzeros.
+func NewSparse(hint int) *Sparse {
+	return &Sparse{t: hashtable.NewFloatTable(hint)}
+}
+
+func packLR(l, r uint32) uint64 { return uint64(l)<<32 | uint64(r) }
+
+// Upsert adds v at (l, r).
+func (s *Sparse) Upsert(l, r uint32, v float64) {
+	s.t.Upsert(packLR(l, r), v)
+}
+
+// Len returns the number of distinct touched positions.
+func (s *Sparse) Len() int { return s.t.Len() }
+
+// Drain visits all entries then resets the table for reuse.
+func (s *Sparse) Drain(fn func(l, r uint32, v float64)) {
+	s.t.ForEach(func(k uint64, v float64) {
+		fn(uint32(k>>32), uint32(k), v)
+	})
+	s.t.Reset()
+}
+
+// Reset empties without draining.
+func (s *Sparse) Reset() { s.t.Reset() }
+
+// Grows reports hash-table doublings (resize-cost metric).
+func (s *Sparse) Grows() int { return s.t.Grows() }
+
+// SparseRobin is a sparse accumulator backed by a Robin Hood-probing table
+// (internal/hashtable.RobinTable) — the "more advanced hashing techniques"
+// direction of Feng et al. cited in paper Section 7.2, kept as an ablation
+// alternative to the linear-probing Sparse.
+type SparseRobin struct {
+	t *hashtable.RobinTable
+}
+
+// NewSparseRobin returns a Robin Hood sparse accumulator.
+func NewSparseRobin(hint int) *SparseRobin {
+	return &SparseRobin{t: hashtable.NewRobinTable(hint)}
+}
+
+// Upsert adds v at (l, r).
+func (s *SparseRobin) Upsert(l, r uint32, v float64) {
+	s.t.Upsert(packLR(l, r), v)
+}
+
+// Len returns the number of distinct touched positions.
+func (s *SparseRobin) Len() int { return s.t.Len() }
+
+// Drain visits all entries then resets the table for reuse.
+func (s *SparseRobin) Drain(fn func(l, r uint32, v float64)) {
+	s.t.ForEach(func(k uint64, v float64) {
+		fn(uint32(k>>32), uint32(k), v)
+	})
+	s.t.Reset()
+}
+
+// Reset empties without draining.
+func (s *SparseRobin) Reset() { s.t.Reset() }
+
+var (
+	_ Accumulator = (*Dense)(nil)
+	_ Accumulator = (*Sparse)(nil)
+	_ Accumulator = (*SparseRobin)(nil)
+)

@@ -1,0 +1,242 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastcc/internal/coo"
+	"fastcc/internal/metrics"
+	"fastcc/internal/ref"
+)
+
+// randomMatrix generates nnz entries with possibly-duplicate coordinates
+// (baselines must tolerate duplicates: each is an unreduced contribution).
+func randomMatrix(rng *rand.Rand, extDim, ctrDim uint64, nnz int) *coo.Matrix {
+	m := &coo.Matrix{ExtDim: extDim, CtrDim: ctrDim}
+	for i := 0; i < nnz; i++ {
+		m.Ext = append(m.Ext, rng.Uint64()%extDim)
+		m.Ctr = append(m.Ctr, rng.Uint64()%ctrDim)
+		m.Val = append(m.Val, float64(rng.Intn(9)-4))
+	}
+	return m
+}
+
+// distinctMatrix generates at most nnz entries with distinct coordinates,
+// for tests that compare per-scheme operation counts (a CSF build merges
+// duplicates, which would legitimately change the counts).
+func distinctMatrix(rng *rand.Rand, extDim, ctrDim uint64, nnz int) *coo.Matrix {
+	m := &coo.Matrix{ExtDim: extDim, CtrDim: ctrDim}
+	seen := map[[2]uint64]bool{}
+	for i := 0; i < nnz; i++ {
+		k := [2]uint64{rng.Uint64() % extDim, rng.Uint64() % ctrDim}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		m.Ext = append(m.Ext, k[0])
+		m.Ctr = append(m.Ctr, k[1])
+		m.Val = append(m.Val, float64(rng.Intn(9)+1))
+	}
+	return m
+}
+
+type engine struct {
+	name string
+	run  func(l, r *coo.Matrix, ctr *metrics.Counters) (*Result, error)
+}
+
+func engines() []engine {
+	return []engine{
+		{"sparta-cm", func(l, r *coo.Matrix, c *metrics.Counters) (*Result, error) { return SpartaCM(l, r, 3, c) }},
+		{"cm-dense-ws", func(l, r *coo.Matrix, c *metrics.Counters) (*Result, error) { return SpartaCMDenseWS(l, r, 2, c) }},
+		{"taco-ci", TacoCI},
+		{"hash-ci", HashCI},
+		{"untiled-co", UntiledCO},
+	}
+}
+
+func checkAgainstRef(t *testing.T, name string, res *Result, l, r *coo.Matrix) {
+	t.Helper()
+	got := ref.TriplesToMatrixTensor(res.L, res.R, res.V, l.ExtDim, r.ExtDim)
+	want := ref.MapToMatrixTensor(ref.ContractMatrix(l, r), l.ExtDim, r.ExtDim)
+	if !coo.Equal(got, want) {
+		t.Fatalf("%s: mismatch (got %d nnz, want %d)", name, got.NNZ(), want.NNZ())
+	}
+}
+
+func TestAllBaselinesMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	l := randomMatrix(rng, 80, 25, 600)
+	r := randomMatrix(rng, 70, 25, 500)
+	for _, e := range engines() {
+		res, err := e.run(l, r, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		checkAgainstRef(t, e.name, res, l, r)
+	}
+}
+
+func TestBaselinesEmptyAndDisjoint(t *testing.T) {
+	empty := &coo.Matrix{ExtDim: 5, CtrDim: 5}
+	lOnly := &coo.Matrix{Ext: []uint64{1}, Ctr: []uint64{0}, Val: []float64{2}, ExtDim: 5, CtrDim: 5}
+	rOnly := &coo.Matrix{Ext: []uint64{1}, Ctr: []uint64{4}, Val: []float64{3}, ExtDim: 5, CtrDim: 5}
+	for _, e := range engines() {
+		if res, err := e.run(empty, empty, nil); err != nil || res.NNZ() != 0 {
+			t.Fatalf("%s empty: %v %d", e.name, err, res.NNZ())
+		}
+		if res, err := e.run(lOnly, rOnly, nil); err != nil || res.NNZ() != 0 {
+			t.Fatalf("%s disjoint: %v %d", e.name, err, res.NNZ())
+		}
+	}
+}
+
+func TestBaselinesRejectBadOperands(t *testing.T) {
+	a := &coo.Matrix{ExtDim: 4, CtrDim: 4}
+	b := &coo.Matrix{ExtDim: 4, CtrDim: 5}
+	z := &coo.Matrix{ExtDim: 0, CtrDim: 4}
+	for _, e := range engines() {
+		if _, err := e.run(a, b, nil); err == nil {
+			t.Fatalf("%s: ctr mismatch accepted", e.name)
+		}
+		if _, err := e.run(z, a, nil); err == nil {
+			t.Fatalf("%s: zero extent accepted", e.name)
+		}
+	}
+}
+
+func TestSpartaCMThreadCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	l := randomMatrix(rng, 120, 30, 900)
+	r := randomMatrix(rng, 100, 30, 800)
+	for _, threads := range []int{1, 2, 8} {
+		res, err := SpartaCM(l, r, threads, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstRef(t, "sparta-cm", res, l, r)
+	}
+}
+
+func TestTable1CounterShapes(t *testing.T) {
+	// Verify the instrumented counters follow Table 1's scalings.
+	rng := rand.New(rand.NewSource(31))
+	const extL, extR, ctrDim = 40, 50, 20
+	l := distinctMatrix(rng, extL, ctrDim, 300)
+	r := distinctMatrix(rng, extR, ctrDim, 300)
+
+	var ci, cm, co metrics.Counters
+	if _, err := TacoCI(l, r, &ci); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpartaCM(l, r, 1, &cm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UntiledCO(l, r, &co); err != nil {
+		t.Fatal(err)
+	}
+	sci, scm, sco := ci.Snapshot(), cm.Snapshot(), co.Snapshot()
+
+	// Updates (multiply-accumulate count) identical across loop orders.
+	if sci.Updates != scm.Updates || scm.Updates != sco.Updates {
+		t.Fatalf("updates differ: CI=%d CM=%d CO=%d", sci.Updates, scm.Updates, sco.Updates)
+	}
+	// CO queries = 2·(distinct c in L) ≤ 2C — far fewer than CI's O(L·R).
+	if sco.Queries > 2*ctrDim {
+		t.Fatalf("CO queries=%d > 2C=%d", sco.Queries, 2*ctrDim)
+	}
+	if sci.Queries < sco.Queries || sci.Queries > 2*extL*extR {
+		t.Fatalf("CI queries=%d outside (CO, 2·L·R]", sci.Queries)
+	}
+	// CM queries = (distinct l) + nnzL ≤ L + nnzL.
+	if scm.Queries > extL+int64(l.NNZ()) {
+		t.Fatalf("CM queries=%d > L+nnzL", scm.Queries)
+	}
+	// CO volume = nnzL + nnzR exactly (each slice touched once; slices with
+	// no partner on the other side are never extracted, so ≤).
+	if sco.Volume > int64(l.NNZ()+r.NNZ()) {
+		t.Fatalf("CO volume=%d > nnzL+nnzR", sco.Volume)
+	}
+	// Ordering: CI volume ≥ CM volume ≥ CO volume on balanced inputs.
+	if !(sci.Volume >= scm.Volume && scm.Volume >= sco.Volume) {
+		t.Fatalf("volume ordering violated: CI=%d CM=%d CO=%d", sci.Volume, scm.Volume, sco.Volume)
+	}
+	// Workspace: CI=1, CM=R, CO=L·R (Table 1's Size_Acc column).
+	if sci.WorkspaceWords != 1 || scm.WorkspaceWords != extR || sco.WorkspaceWords != extL*extR {
+		t.Fatalf("workspace: CI=%d CM=%d CO=%d", sci.WorkspaceWords, scm.WorkspaceWords, sco.WorkspaceWords)
+	}
+}
+
+func TestUntiledCOHugeIndexSpaceFallback(t *testing.T) {
+	// L·R overflows uint64 → map-keyed workspace path.
+	l := &coo.Matrix{Ext: []uint64{1 << 40}, Ctr: []uint64{3}, Val: []float64{2}, ExtDim: 1 << 41, CtrDim: 8}
+	r := &coo.Matrix{Ext: []uint64{1 << 39}, Ctr: []uint64{3}, Val: []float64{5}, ExtDim: 1 << 41, CtrDim: 8}
+	res, err := UntiledCO(l, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NNZ() != 1 || res.L[0] != 1<<40 || res.R[0] != 1<<39 || res.V[0] != 10 {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func TestResultToTensor(t *testing.T) {
+	res := &Result{L: []uint64{1}, R: []uint64{2}, V: []float64{3}}
+	tn := res.ToTensor(4, 4)
+	if tn.NNZ() != 1 || tn.At([]uint64{1, 2}) != 3 {
+		t.Fatal("ToTensor wrong")
+	}
+}
+
+func TestBaselinesAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomMatrix(rng, uint64(rng.Intn(30)+1), uint64(rng.Intn(12)+1), rng.Intn(120))
+		r := randomMatrix(rng, uint64(rng.Intn(30)+1), l.CtrDim, rng.Intn(120))
+		want := ref.MapToMatrixTensor(ref.ContractMatrix(l, r), l.ExtDim, r.ExtDim)
+		for _, e := range engines() {
+			res, err := e.run(l, r, nil)
+			if err != nil {
+				return false
+			}
+			got := ref.TriplesToMatrixTensor(res.L, res.R, res.V, l.ExtDim, r.ExtDim)
+			if !coo.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCMDenseWSCancellation(t *testing.T) {
+	// Values that transiently cancel to zero must still drain correctly
+	// (the touched-list tracks first touches by zero-value checks).
+	l := &coo.Matrix{
+		Ext: []uint64{0, 0, 0}, Ctr: []uint64{0, 1, 2},
+		Val: []float64{2, -2, 1}, ExtDim: 2, CtrDim: 3,
+	}
+	r := &coo.Matrix{
+		Ext: []uint64{5, 5, 5}, Ctr: []uint64{0, 1, 2},
+		Val: []float64{1, 1, 1}, ExtDim: 8, CtrDim: 3,
+	}
+	res, err := SpartaCMDenseWS(l, r, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O[0,5] = 2 - 2 + 1 = 1.
+	if res.NNZ() != 1 || res.L[0] != 0 || res.R[0] != 5 || res.V[0] != 1 {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func TestCMDenseWSRejectsHugeR(t *testing.T) {
+	l := &coo.Matrix{ExtDim: 4, CtrDim: 4}
+	r := &coo.Matrix{ExtDim: 1 << 40, CtrDim: 4}
+	if _, err := SpartaCMDenseWS(l, r, 1, nil); err == nil {
+		t.Fatal("huge dense workspace accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package baselines
+
+import (
+	"fmt"
+
+	"fastcc/internal/coo"
+	"fastcc/internal/mempool"
+	"fastcc/internal/metrics"
+	"fastcc/internal/scheduler"
+)
+
+// SpartaCMDenseWS is the contraction-middle scheme with the paper's other
+// workspace option (Section 3.2): a dense 1D array of extent R per worker,
+// "along with some auxiliary data structures to keep track of which
+// elements of the workspace are updated" — here a touched-position list,
+// so the per-slice drain and reset are nnz-proportional.
+//
+// This variant is only usable when R fits in memory (the untiled analogue
+// of FaSTCC's dense tile); it errors out beyond the budget, exactly the
+// limitation that motivates tiling for very sparse high-dimensional
+// outputs.
+func SpartaCMDenseWS(l, r *coo.Matrix, threads int, ctr *metrics.Counters) (*Result, error) {
+	if err := checkOperands(l, r); err != nil {
+		return nil, err
+	}
+	const maxWords = 1 << 28 // 2 GiB of float64 per worker is plainly absurd
+	if r.ExtDim > maxWords {
+		return nil, fmt.Errorf("baselines: dense CM workspace of %d words is infeasible (use SpartaCM)", r.ExtDim)
+	}
+	hl := buildByExt(l)
+	hr := buildByCtr(r)
+	lKeys := hl.Keys(nil)
+
+	threads = scheduler.Workers(threads)
+	pools := make([]*mempool.Pool[triple], threads)
+	type denseWS struct {
+		vals    []float64
+		touched []uint64
+	}
+	workspaces := make([]*denseWS, threads)
+	scheduler.Pool(threads, len(lKeys), func(w, task int) {
+		ws := workspaces[w]
+		if ws == nil {
+			ws = &denseWS{vals: make([]float64, r.ExtDim)}
+			workspaces[w] = ws
+			pools[w] = mempool.New[triple](0)
+		}
+		lIdx := lKeys[task]
+		lPairs := hl.Lookup(lIdx)
+		ctr.AddQueries(1)
+		ctr.AddVolume(int64(len(lPairs)))
+		for _, lp := range lPairs {
+			rPairs := hr.Lookup(lp.Idx)
+			ctr.AddQueries(1)
+			if rPairs == nil {
+				continue
+			}
+			ctr.AddVolume(int64(len(rPairs)))
+			ctr.AddUpdates(int64(len(rPairs)))
+			for _, rp := range rPairs {
+				if ws.vals[rp.Idx] == 0 {
+					ws.touched = append(ws.touched, rp.Idx)
+				}
+				ws.vals[rp.Idx] += lp.Val * rp.Val
+			}
+		}
+		pool := pools[w]
+		for _, rIdx := range ws.touched {
+			if v := ws.vals[rIdx]; v != 0 {
+				pool.Append(triple{lIdx, rIdx, v})
+			}
+			ws.vals[rIdx] = 0
+		}
+		ws.touched = ws.touched[:0]
+	})
+	ctr.MaxWorkspace(int64(r.ExtDim))
+	res := gather(pools)
+	ctr.AddOutput(int64(res.NNZ()))
+	return res, nil
+}

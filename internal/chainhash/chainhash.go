@@ -1,0 +1,98 @@
+// Package chainhash implements a closed-addressing (chaining) hash table in
+// the style used by Sparta/Athena (paper Sections 2.2 and 7.2): keys hash to
+// a bucket, buckets chain overflow nodes in a linked list. Chaining gives
+// cheap insertions (no resize-and-rehash of element data) at the cost of
+// pointer-chasing on lookup — exactly the trade-off the paper discusses when
+// comparing against FaSTCC's open-addressing tables.
+//
+// The table maps a uint64 key (a linearized index) to a list of
+// (index, value) pairs, mirroring Sparta's tensor representations
+// HL : L → P(C×V) and HR : C → P(R×V).
+package chainhash
+
+import "fastcc/internal/hashtable"
+
+// Pair is one stored nonzero under a key: a companion linearized index and
+// the value. Unlike the tile tables, companion indices here are full uint64
+// linearized indices (Sparta does not tile).
+type Pair struct {
+	Idx uint64
+	Val float64
+}
+
+// node is one chain link holding the pairs for a single key.
+type node struct {
+	key   uint64
+	pairs []Pair
+	next  *node
+}
+
+// Table is a chaining hash table. Not concurrency-safe.
+type Table struct {
+	buckets []*node
+	mask    uint64
+	keys    int
+	pairs   int
+}
+
+// New returns a table with about hint/loadFactor buckets. The bucket count
+// is fixed at construction: chaining degrades gracefully under overload
+// instead of rehashing (Sparta's design point for fast insertion).
+func New(hint int) *Table {
+	n := 16
+	for n < hint*2 {
+		n <<= 1
+	}
+	return &Table{buckets: make([]*node, n), mask: uint64(n - 1)}
+}
+
+// Len returns the number of distinct keys.
+func (t *Table) Len() int { return t.keys }
+
+// Pairs returns the total number of stored pairs.
+func (t *Table) Pairs() int { return t.pairs }
+
+// Insert appends (idx, val) under key.
+func (t *Table) Insert(key, idx uint64, val float64) {
+	b := hashtable.Mix(key) & t.mask
+	for n := t.buckets[b]; n != nil; n = n.next {
+		if n.key == key {
+			n.pairs = append(n.pairs, Pair{idx, val})
+			t.pairs++
+			return
+		}
+	}
+	t.buckets[b] = &node{key: key, pairs: []Pair{{idx, val}}, next: t.buckets[b]}
+	t.keys++
+	t.pairs++
+}
+
+// Lookup returns the pair list for key (nil if absent); the slice is owned
+// by the table.
+func (t *Table) Lookup(key uint64) []Pair {
+	for n := t.buckets[hashtable.Mix(key)&t.mask]; n != nil; n = n.next {
+		if n.key == key {
+			return n.pairs
+		}
+	}
+	return nil
+}
+
+// ForEach visits every (key, pairs) in unspecified order.
+func (t *Table) ForEach(fn func(key uint64, pairs []Pair)) {
+	for _, n := range t.buckets {
+		for ; n != nil; n = n.next {
+			fn(n.key, n.pairs)
+		}
+	}
+}
+
+// Keys appends all distinct keys to dst and returns it.
+func (t *Table) Keys(dst []uint64) []uint64 {
+	for _, n := range t.buckets {
+		for ; n != nil; n = n.next {
+			dst = append(dst, n.key)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,91 @@
+package chainhash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tb := New(0)
+	tb.Insert(1, 10, 1.0)
+	tb.Insert(1, 11, 2.0)
+	tb.Insert(2, 20, 3.0)
+	if tb.Len() != 2 || tb.Pairs() != 3 {
+		t.Fatalf("Len=%d Pairs=%d", tb.Len(), tb.Pairs())
+	}
+	ps := tb.Lookup(1)
+	if len(ps) != 2 || ps[0] != (Pair{10, 1.0}) || ps[1] != (Pair{11, 2.0}) {
+		t.Fatalf("Lookup(1) = %v", ps)
+	}
+	if tb.Lookup(3) != nil {
+		t.Fatal("missing key should be nil")
+	}
+}
+
+func TestChainingUnderOverload(t *testing.T) {
+	// Fixed bucket count: inserting far more keys than buckets must still
+	// be correct (chains grow).
+	tb := New(1) // 16 buckets
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		tb.Insert(i, i*2, float64(i))
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len=%d", tb.Len())
+	}
+	for i := uint64(0); i < n; i += 111 {
+		ps := tb.Lookup(i)
+		if len(ps) != 1 || ps[0].Idx != i*2 {
+			t.Fatalf("key %d: %v", i, ps)
+		}
+	}
+}
+
+func TestForEachKeys(t *testing.T) {
+	tb := New(8)
+	for i := uint64(0); i < 40; i++ {
+		tb.Insert(i%10, i, 1)
+	}
+	count := 0
+	totalPairs := 0
+	tb.ForEach(func(_ uint64, ps []Pair) { count++; totalPairs += len(ps) })
+	if count != 10 || totalPairs != 40 {
+		t.Fatalf("ForEach: keys=%d pairs=%d", count, totalPairs)
+	}
+	if len(tb.Keys(nil)) != 10 {
+		t.Fatal("Keys wrong length")
+	}
+}
+
+func TestVersusMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New(4)
+		model := map[uint64][]Pair{}
+		for i := 0; i < 400; i++ {
+			k := rng.Uint64() % 50
+			p := Pair{Idx: rng.Uint64() % 1000, Val: float64(rng.Intn(9))}
+			tb.Insert(k, p.Idx, p.Val)
+			model[k] = append(model[k], p)
+		}
+		if tb.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got := tb.Lookup(k)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package coo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTensor(n int) *Tensor {
+	rng := rand.New(rand.NewSource(1))
+	return randomTensor(rng, []uint64{1 << 12, 1 << 10, 1 << 8}, n)
+}
+
+func BenchmarkSort100k(b *testing.B) {
+	orig := benchTensor(100_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := orig.Clone()
+		t.Sort()
+	}
+}
+
+func BenchmarkDedup100k(b *testing.B) {
+	orig := benchTensor(100_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := orig.Clone()
+		t.Dedup()
+	}
+}
+
+func BenchmarkMatrixize100k(b *testing.B) {
+	t := benchTensor(100_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Matrixize([]int{0, 1}, []int{2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFromPairsP100k(b *testing.B) {
+	n := 100_000
+	rng := rand.New(rand.NewSource(2))
+	ls := make([]uint64, n)
+	rs := make([]uint64, n)
+	vs := make([]float64, n)
+	for i := range vs {
+		ls[i] = rng.Uint64() % (1 << 20)
+		rs[i] = rng.Uint64() % (1 << 20)
+		vs[i] = 1
+	}
+	lDims := []uint64{1 << 10, 1 << 10}
+	rDims := []uint64{1 << 10, 1 << 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromPairsP(ls, rs, vs, lDims, rDims, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

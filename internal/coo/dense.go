@@ -1,0 +1,52 @@
+package coo
+
+import "fmt"
+
+// ToDense materializes the tensor as a row-major dense array. It refuses
+// index spaces above maxDenseElems (dense materialization is a debugging
+// and interop aid, not a compute path).
+const maxDenseElems = 1 << 28 // 2 GiB of float64
+
+// ToDense returns the dense row-major array of the tensor, accumulating
+// duplicates.
+func (t *Tensor) ToDense() ([]float64, error) {
+	size, err := LinearSize(t.Dims)
+	if err != nil {
+		return nil, err
+	}
+	if size > maxDenseElems {
+		return nil, fmt.Errorf("%w: dense materialization of %d elements refused", ErrShape, size)
+	}
+	strides, err := Strides(t.Dims)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, size)
+	coords := make([]uint64, t.Order())
+	for i := range t.Vals {
+		out[Linearize(t.CoordsOf(i, coords), strides)] += t.Vals[i]
+	}
+	return out, nil
+}
+
+// FromDense builds a COO tensor from a row-major dense array, storing only
+// elements with |v| > tol (tol 0 keeps all nonzeros).
+func FromDense(data []float64, dims []uint64, tol float64) (*Tensor, error) {
+	size, err := LinearSize(dims)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(data)) != size {
+		return nil, fmt.Errorf("%w: %d elements for dims %v (want %d)", ErrShape, len(data), dims, size)
+	}
+	t := New(dims, 0)
+	coords := make([]uint64, len(dims))
+	for i, v := range data {
+		if v == 0 || (v < tol && -v < tol) {
+			continue
+		}
+		Delinearize(uint64(i), dims, coords)
+		t.Append(coords, v)
+	}
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package coo
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Strides returns row-major strides for the given mode extents: the last
+// mode varies fastest. Strides(d)[m] is the multiplier applied to the mode-m
+// coordinate when linearizing. An error is returned if the product of
+// extents does not fit in a uint64 (linearized indices would overflow).
+func Strides(dims []uint64) ([]uint64, error) {
+	strides := make([]uint64, len(dims))
+	acc := uint64(1)
+	for m := len(dims) - 1; m >= 0; m-- {
+		strides[m] = acc
+		if dims[m] == 0 {
+			return nil, fmt.Errorf("%w: mode %d has zero extent", ErrShape, m)
+		}
+		hi, lo := bits.Mul64(acc, dims[m])
+		if hi != 0 {
+			return nil, fmt.Errorf("%w: linearized extent of dims %v overflows uint64", ErrShape, dims)
+		}
+		acc = lo
+	}
+	return strides, nil
+}
+
+// LinearSize returns the product of extents, or an error on uint64 overflow.
+func LinearSize(dims []uint64) (uint64, error) {
+	acc := uint64(1)
+	for m, d := range dims {
+		if d == 0 {
+			return 0, fmt.Errorf("%w: mode %d has zero extent", ErrShape, m)
+		}
+		hi, lo := bits.Mul64(acc, d)
+		if hi != 0 {
+			return 0, fmt.Errorf("%w: linearized extent of dims %v overflows uint64", ErrShape, dims)
+		}
+		acc = lo
+	}
+	return acc, nil
+}
+
+// Linearize maps a coordinate tuple to a single row-major index.
+func Linearize(coords, strides []uint64) uint64 {
+	idx := uint64(0)
+	for m, c := range coords {
+		idx += c * strides[m]
+	}
+	return idx
+}
+
+// Delinearize is the inverse of Linearize for the given extents: it writes
+// the coordinate tuple of idx into dst (which must have len(dims) entries).
+func Delinearize(idx uint64, dims []uint64, dst []uint64) {
+	for m := len(dims) - 1; m >= 0; m-- {
+		dst[m] = idx % dims[m]
+		idx /= dims[m]
+	}
+}
+
+// subDims gathers the extents of the selected modes, in order.
+func subDims(dims []uint64, modes []int) []uint64 {
+	out := make([]uint64, len(modes))
+	for k, m := range modes {
+		out[k] = dims[m]
+	}
+	return out
+}
+
+// LinearizeModes computes, for every stored element, the linearized index of
+// the selected mode subset. The result has one entry per nonzero.
+func (t *Tensor) LinearizeModes(modes []int) ([]uint64, error) {
+	dims := subDims(t.Dims, modes)
+	strides, err := Strides(dims)
+	if err != nil {
+		return nil, err
+	}
+	n := t.NNZ()
+	out := make([]uint64, n)
+	// Accumulate one mode at a time so each pass streams through a single
+	// coordinate array (SoA-friendly).
+	for k, m := range modes {
+		cs := t.Coords[m]
+		s := strides[k]
+		for i := 0; i < n; i++ {
+			out[i] += cs[i] * s
+		}
+	}
+	return out, nil
+}

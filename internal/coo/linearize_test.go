@@ -1,0 +1,177 @@
+package coo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStridesRowMajor(t *testing.T) {
+	s, err := Strides([]uint64{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{12, 4, 1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("strides=%v want %v", s, want)
+		}
+	}
+}
+
+func TestStridesOverflow(t *testing.T) {
+	if _, err := Strides([]uint64{1 << 33, 1 << 33}); err == nil {
+		t.Fatal("want overflow error")
+	}
+	if _, err := Strides([]uint64{4, 0, 4}); err == nil {
+		t.Fatal("want zero-extent error")
+	}
+	if _, err := LinearSize([]uint64{1 << 40, 1 << 30}); err == nil {
+		t.Fatal("want LinearSize overflow error")
+	}
+}
+
+func TestLinearizeDelinearizeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := rng.Intn(4) + 1
+		dims := make([]uint64, order)
+		for m := range dims {
+			dims[m] = uint64(rng.Intn(9) + 1)
+		}
+		strides, err := Strides(dims)
+		if err != nil {
+			return false
+		}
+		coords := make([]uint64, order)
+		for m := range coords {
+			coords[m] = rng.Uint64() % dims[m]
+		}
+		idx := Linearize(coords, strides)
+		back := make([]uint64, order)
+		Delinearize(idx, dims, back)
+		for m := range coords {
+			if back[m] != coords[m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearizeIsBijective(t *testing.T) {
+	dims := []uint64{3, 4, 2}
+	strides, _ := Strides(dims)
+	seen := map[uint64]bool{}
+	coords := make([]uint64, 3)
+	for a := uint64(0); a < 3; a++ {
+		for b := uint64(0); b < 4; b++ {
+			for c := uint64(0); c < 2; c++ {
+				coords[0], coords[1], coords[2] = a, b, c
+				idx := Linearize(coords, strides)
+				if idx >= 24 || seen[idx] {
+					t.Fatalf("index %d out of range or repeated", idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+}
+
+func TestLinearizeModes(t *testing.T) {
+	a := mkTensor(t, []uint64{2, 3, 4},
+		[][]uint64{{1, 2, 3}, {0, 0, 0}}, []float64{1, 2})
+	// Linearize modes (2, 0): dims (4,2), strides (2,1) → 3*2+1=7, 0.
+	got, err := a.LinearizeModes([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || got[1] != 0 {
+		t.Fatalf("LinearizeModes = %v, want [7 0]", got)
+	}
+}
+
+func TestMatrixizeAndFromPairsRoundTrip(t *testing.T) {
+	// Matrixize over (ext, ctr), then rebuild a tensor from (ext-left,
+	// ext-right) pairs and check a known case end-to-end.
+	a := mkTensor(t, []uint64{2, 3, 4},
+		[][]uint64{{1, 2, 3}, {0, 1, 2}}, []float64{5, 7})
+	m, err := a.Matrixize([]int{0, 1}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExtDim != 6 || m.CtrDim != 4 || m.NNZ() != 2 {
+		t.Fatalf("matrixized dims ext=%d ctr=%d nnz=%d", m.ExtDim, m.CtrDim, m.NNZ())
+	}
+	// Element (1,2,3): ext = 1*3+2 = 5, ctr = 3.
+	if m.Ext[0] != 5 || m.Ctr[0] != 3 || m.Val[0] != 5 {
+		t.Fatalf("element 0: ext=%d ctr=%d val=%g", m.Ext[0], m.Ctr[0], m.Val[0])
+	}
+
+	out, err := FromPairs([]uint64{5}, []uint64{2}, []float64{3.5},
+		[]uint64{2, 3}, []uint64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Order() != 3 || out.NNZ() != 1 {
+		t.Fatalf("FromPairs: %v", out)
+	}
+	if got := out.At([]uint64{1, 2, 2}); got != 3.5 {
+		t.Fatalf("FromPairs value at (1,2,2) = %g", got)
+	}
+}
+
+func TestFromPairsEmptyRightGroup(t *testing.T) {
+	// Contraction of all right modes: rDims empty, r index always 0.
+	out, err := FromPairs([]uint64{3}, []uint64{0}, []float64{1.0},
+		[]uint64{5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Order() != 1 || out.At([]uint64{3}) != 1.0 {
+		t.Fatalf("unexpected result %v", out)
+	}
+}
+
+func TestFromPairsLengthMismatch(t *testing.T) {
+	if _, err := FromPairs([]uint64{1}, []uint64{}, []float64{1}, []uint64{2}, []uint64{2}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	l := New([]uint64{4, 5}, 0)
+	r := New([]uint64{5, 6}, 0)
+	ok := Spec{CtrLeft: []int{1}, CtrRight: []int{0}}
+	if err := ok.Validate(l, r); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []Spec{
+		{CtrLeft: []int{1}, CtrRight: []int{0, 1}}, // arity mismatch
+		{CtrLeft: []int{}, CtrRight: []int{}},      // empty
+		{CtrLeft: []int{2}, CtrRight: []int{0}},    // out of range
+		{CtrLeft: []int{1, 1}, CtrRight: []int{0, 1}},
+		{CtrLeft: []int{0}, CtrRight: []int{1}}, // extent mismatch 4 vs 6
+	}
+	for i, s := range cases {
+		if err := s.Validate(l, r); err == nil {
+			t.Fatalf("case %d: want error", i)
+		}
+	}
+}
+
+func TestExternalModes(t *testing.T) {
+	got := ExternalModes(5, []int{1, 3})
+	want := []int{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("ExternalModes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExternalModes = %v want %v", got, want)
+		}
+	}
+}

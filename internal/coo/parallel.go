@@ -1,0 +1,67 @@
+package coo
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FromPairsP is FromPairs with the de-linearization passes parallelized
+// over element chunks — the output post-processing is a measured phase of
+// the contraction (paper Section 2.1), and for dense-ish outputs it touches
+// more elements than either input. workers <= 1 falls back to FromPairs.
+func FromPairsP(ls, rs []uint64, vals []float64, lDims, rDims []uint64, workers int) (*Tensor, error) {
+	if workers <= 1 || len(vals) < 1<<14 {
+		return FromPairs(ls, rs, vals, lDims, rDims)
+	}
+	if len(ls) != len(rs) || len(ls) != len(vals) {
+		return nil, fmt.Errorf("%w: pair arrays of unequal length", ErrShape)
+	}
+	dims := append(append([]uint64(nil), lDims...), rDims...)
+	out := New(dims, 0)
+	n := len(vals)
+	out.Vals = append([]float64(nil), vals...)
+	for m := range dims {
+		out.Coords[m] = make([]uint64, n)
+	}
+	lStrides, err := Strides(lDims)
+	if err != nil {
+		return nil, err
+	}
+	rStrides, err := Strides(rDims)
+	if err != nil {
+		return nil, err
+	}
+
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for m := range lDims {
+				s, d := lStrides[m], lDims[m]
+				cs := out.Coords[m]
+				for i := lo; i < hi; i++ {
+					cs[i] = (ls[i] / s) % d
+				}
+			}
+			for m := range rDims {
+				s, d := rStrides[m], rDims[m]
+				cs := out.Coords[len(lDims)+m]
+				for i := lo; i < hi; i++ {
+					cs[i] = (rs[i] / s) % d
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}

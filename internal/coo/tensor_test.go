@@ -1,0 +1,223 @@
+package coo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkTensor(t *testing.T, dims []uint64, elems [][]uint64, vals []float64) *Tensor {
+	t.Helper()
+	tn := New(dims, len(vals))
+	for i, e := range elems {
+		tn.Append(e, vals[i])
+	}
+	if err := tn.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return tn
+}
+
+func randomTensor(rng *rand.Rand, dims []uint64, nnz int) *Tensor {
+	t := New(dims, nnz)
+	coords := make([]uint64, len(dims))
+	for i := 0; i < nnz; i++ {
+		for m, d := range dims {
+			coords[m] = rng.Uint64() % d
+		}
+		t.Append(coords, float64(rng.Intn(9)+1))
+	}
+	return t
+}
+
+func TestNewAndAppend(t *testing.T) {
+	tn := New([]uint64{3, 4, 5}, 4)
+	if tn.Order() != 3 || tn.NNZ() != 0 {
+		t.Fatalf("empty tensor: order=%d nnz=%d", tn.Order(), tn.NNZ())
+	}
+	tn.Append([]uint64{1, 2, 3}, 2.5)
+	tn.Append([]uint64{0, 0, 0}, -1)
+	if tn.NNZ() != 2 {
+		t.Fatalf("nnz=%d want 2", tn.NNZ())
+	}
+	if got := tn.At([]uint64{1, 2, 3}); got != 2.5 {
+		t.Fatalf("At = %g want 2.5", got)
+	}
+	if err := tn.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tn := New([]uint64{2, 2}, 1)
+	tn.Coords[0] = append(tn.Coords[0], 5) // out of range, lengths mismatched
+	if err := tn.Validate(); err == nil {
+		t.Fatal("want error for ragged coords")
+	}
+	tn2 := New([]uint64{2, 2}, 1)
+	tn2.Append([]uint64{1, 1}, 1)
+	tn2.Coords[1][0] = 7
+	if err := tn2.Validate(); err == nil {
+		t.Fatal("want error for out-of-range coordinate")
+	}
+	tn3 := New([]uint64{2}, 1)
+	tn3.Append([]uint64{0}, math.NaN())
+	if err := tn3.Validate(); err == nil {
+		t.Fatal("want error for NaN value")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := mkTensor(t, []uint64{4, 4}, [][]uint64{{1, 2}, {3, 0}}, []float64{1, 2})
+	b := a.Clone()
+	b.Coords[0][0] = 0
+	b.Vals[1] = 99
+	if a.Coords[0][0] != 1 || a.Vals[1] != 2 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestSortAndIsSorted(t *testing.T) {
+	a := mkTensor(t, []uint64{3, 3},
+		[][]uint64{{2, 1}, {0, 2}, {1, 0}, {0, 1}}, []float64{4, 2, 3, 1})
+	if a.IsSorted() {
+		t.Fatal("unexpectedly sorted")
+	}
+	a.Sort()
+	if !a.IsSorted() {
+		t.Fatal("not sorted after Sort")
+	}
+	wantCoords := [][]uint64{{0, 1}, {0, 2}, {1, 0}, {2, 1}}
+	wantVals := []float64{1, 2, 3, 4}
+	for i := range wantVals {
+		if a.Coords[0][i] != wantCoords[i][0] || a.Coords[1][i] != wantCoords[i][1] || a.Vals[i] != wantVals[i] {
+			t.Fatalf("element %d = (%d,%d)=%g, want (%d,%d)=%g",
+				i, a.Coords[0][i], a.Coords[1][i], a.Vals[i], wantCoords[i][0], wantCoords[i][1], wantVals[i])
+		}
+	}
+}
+
+func TestSortHugeDimsFallback(t *testing.T) {
+	// Dims whose product overflows uint64 force the comparator path.
+	dims := []uint64{1 << 40, 1 << 40, 1 << 40}
+	a := New(dims, 3)
+	a.Append([]uint64{5, 0, 0}, 1)
+	a.Append([]uint64{1, 9, 9}, 2)
+	a.Append([]uint64{1, 2, 3}, 3)
+	a.Sort()
+	if !a.IsSorted() {
+		t.Fatal("fallback sort failed")
+	}
+	if a.Vals[0] != 3 || a.Vals[1] != 2 || a.Vals[2] != 1 {
+		t.Fatalf("vals after sort: %v", a.Vals)
+	}
+}
+
+func TestDedupSums(t *testing.T) {
+	a := mkTensor(t, []uint64{2, 2},
+		[][]uint64{{1, 1}, {0, 0}, {1, 1}, {0, 0}, {1, 0}}, []float64{1, 2, 3, 4, 5})
+	a.Dedup()
+	if a.NNZ() != 3 {
+		t.Fatalf("nnz=%d want 3", a.NNZ())
+	}
+	if got := a.At([]uint64{1, 1}); got != 4 {
+		t.Fatalf("(1,1)=%g want 4", got)
+	}
+	if got := a.At([]uint64{0, 0}); got != 6 {
+		t.Fatalf("(0,0)=%g want 6", got)
+	}
+	if !a.IsSorted() {
+		t.Fatal("Dedup output must be sorted")
+	}
+}
+
+func TestDropZerosAndTiny(t *testing.T) {
+	a := mkTensor(t, []uint64{4}, [][]uint64{{0}, {1}, {2}, {3}}, []float64{0, 1e-12, -2, 0})
+	a.DropZeros()
+	if a.NNZ() != 2 {
+		t.Fatalf("nnz=%d want 2", a.NNZ())
+	}
+	a.dropTiny(1e-9)
+	if a.NNZ() != 1 || a.Vals[0] != -2 {
+		t.Fatalf("after dropTiny: nnz=%d vals=%v", a.NNZ(), a.Vals)
+	}
+}
+
+func TestEqualAndApproxEqual(t *testing.T) {
+	a := mkTensor(t, []uint64{3, 3}, [][]uint64{{0, 1}, {2, 2}}, []float64{1, 2})
+	b := mkTensor(t, []uint64{3, 3}, [][]uint64{{2, 2}, {0, 1}}, []float64{2, 1})
+	if !Equal(a, b) {
+		t.Fatal("order-insensitive equality failed")
+	}
+	c := b.Clone()
+	c.Vals[0] += 1e-13
+	if Equal(a, c) {
+		t.Fatal("exact equality should fail on perturbed value")
+	}
+	if !ApproxEqual(a, c, 1e-9) {
+		t.Fatal("approx equality should pass")
+	}
+	d := mkTensor(t, []uint64{3, 4}, [][]uint64{{0, 1}}, []float64{1})
+	if Equal(a, d) {
+		t.Fatal("different dims must not compare equal")
+	}
+	// Cancellation: duplicate coords summing to zero equal an empty tensor.
+	e := mkTensor(t, []uint64{3, 3}, [][]uint64{{1, 1}, {1, 1}}, []float64{5, -5})
+	f := New([]uint64{3, 3}, 0)
+	if !Equal(e, f) {
+		t.Fatal("cancelling duplicates should equal empty tensor")
+	}
+}
+
+func TestDensityAndSize(t *testing.T) {
+	a := mkTensor(t, []uint64{10, 10}, [][]uint64{{0, 0}, {1, 1}}, []float64{1, 1})
+	if a.Size() != 100 {
+		t.Fatalf("Size=%g", a.Size())
+	}
+	if d := a.Density(); d != 0.02 {
+		t.Fatalf("Density=%g", d)
+	}
+}
+
+func TestDedupPropertyRandom(t *testing.T) {
+	// Dedup must preserve the At() sum for every coordinate.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []uint64{uint64(rng.Intn(4) + 1), uint64(rng.Intn(4) + 1)}
+		a := randomTensor(rng, dims, rng.Intn(30))
+		before := map[[2]uint64]float64{}
+		for i := range a.Vals {
+			before[[2]uint64{a.Coords[0][i], a.Coords[1][i]}] += a.Vals[i]
+		}
+		a.Dedup()
+		seen := map[[2]uint64]bool{}
+		for i := range a.Vals {
+			k := [2]uint64{a.Coords[0][i], a.Coords[1][i]}
+			if seen[k] {
+				return false // duplicate survived
+			}
+			seen[k] = true
+			if a.Vals[i] != before[k] {
+				return false
+			}
+		}
+		for k, v := range before {
+			if v != 0 && !seen[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordsOf(t *testing.T) {
+	a := mkTensor(t, []uint64{5, 6, 7}, [][]uint64{{1, 2, 3}}, []float64{9})
+	got := a.CoordsOf(0, nil)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("CoordsOf = %v", got)
+	}
+}

@@ -1,0 +1,84 @@
+package coo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTNSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomTensor(rng, []uint64{9, 5, 13}, 40)
+	a.Dedup()
+	var sb strings.Builder
+	if err := WriteTNS(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadTNS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, b) {
+		t.Fatal("tns round trip not equal")
+	}
+	if len(b.Dims) != 3 || b.Dims[0] != 9 || b.Dims[1] != 5 || b.Dims[2] != 13 {
+		t.Fatalf("dims lost in round trip: %v", b.Dims)
+	}
+}
+
+func TestReadTNSInfersDims(t *testing.T) {
+	in := "1 2 3 1.5\n4 1 1 -2\n"
+	tn, err := ReadTNS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Order() != 3 || tn.NNZ() != 2 {
+		t.Fatalf("got %v", tn)
+	}
+	if tn.Dims[0] != 4 || tn.Dims[1] != 2 || tn.Dims[2] != 3 {
+		t.Fatalf("inferred dims %v", tn.Dims)
+	}
+	if got := tn.At([]uint64{0, 1, 2}); got != 1.5 {
+		t.Fatalf("value = %g", got)
+	}
+}
+
+func TestReadTNSCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\n1 1 2.0\n# another\n2 2 3.0\n"
+	tn, err := ReadTNS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.NNZ() != 2 {
+		t.Fatalf("nnz=%d", tn.NNZ())
+	}
+}
+
+func TestReadTNSErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"short line":        "1\n",
+		"zero coord":        "0 1 1.0\n",
+		"bad coord":         "x 1 1.0\n",
+		"bad value":         "1 1 zzz\n",
+		"order change":      "1 1 1.0\n1 1 1 1.0\n",
+		"bad dims header":   "# dims: x\n1 1 1.0\n",
+		"dims header short": "# dims: 4\n1 1 1.0\n",
+		"coord beyond dims": "# dims: 2 2\n3 1 1.0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTNS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestReadTNSHeaderOnlyEmptyTensor(t *testing.T) {
+	tn, err := ReadTNS(strings.NewReader("# dims: 3 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Order() != 2 || tn.NNZ() != 0 || tn.Dims[1] != 4 {
+		t.Fatalf("got %v", tn)
+	}
+}

@@ -1,0 +1,124 @@
+package coo
+
+import "fmt"
+
+// Permute returns a new tensor whose mode k is the receiver's mode
+// perm[k] — a lazy transpose: only slice headers and dim metadata move,
+// coordinate arrays are shared with the receiver (copy-on-write is the
+// caller's responsibility; use Clone().Permute(...) for an independent
+// tensor).
+func (t *Tensor) Permute(perm []int) (*Tensor, error) {
+	if len(perm) != t.Order() {
+		return nil, fmt.Errorf("%w: permutation %v for order-%d tensor", ErrShape, perm, t.Order())
+	}
+	seen := make([]bool, t.Order())
+	for _, m := range perm {
+		if m < 0 || m >= t.Order() || seen[m] {
+			return nil, fmt.Errorf("%w: %v is not a permutation", ErrShape, perm)
+		}
+		seen[m] = true
+	}
+	out := &Tensor{
+		Dims:   make([]uint64, t.Order()),
+		Coords: make([][]uint64, t.Order()),
+		Vals:   t.Vals,
+	}
+	for k, m := range perm {
+		out.Dims[k] = t.Dims[m]
+		out.Coords[k] = t.Coords[m]
+	}
+	return out, nil
+}
+
+// Scale multiplies every stored value by a, in place. Scaling by zero
+// leaves explicit zeros; call DropZeros to remove them.
+func (t *Tensor) Scale(a float64) {
+	for i := range t.Vals {
+		t.Vals[i] *= a
+	}
+}
+
+// Add returns a + b (elementwise), requiring identical dims. The result is
+// canonicalized (sorted, deduplicated); exact cancellations are dropped.
+func Add(a, b *Tensor) (*Tensor, error) {
+	if len(a.Dims) != len(b.Dims) {
+		return nil, fmt.Errorf("%w: adding order-%d and order-%d tensors", ErrShape, a.Order(), b.Order())
+	}
+	for m := range a.Dims {
+		if a.Dims[m] != b.Dims[m] {
+			return nil, fmt.Errorf("%w: dims %v vs %v", ErrShape, a.Dims, b.Dims)
+		}
+	}
+	out := New(a.Dims, a.NNZ()+b.NNZ())
+	for m := range a.Coords {
+		out.Coords[m] = append(out.Coords[m], a.Coords[m]...)
+		out.Coords[m] = append(out.Coords[m], b.Coords[m]...)
+	}
+	out.Vals = append(out.Vals, a.Vals...)
+	out.Vals = append(out.Vals, b.Vals...)
+	out.Dedup()
+	out.DropZeros()
+	return out, nil
+}
+
+// Axpy returns a·x + y, a convenience over Scale and Add that leaves the
+// operands untouched.
+func Axpy(alpha float64, x, y *Tensor) (*Tensor, error) {
+	ax := x.Clone()
+	ax.Scale(alpha)
+	return Add(ax, y)
+}
+
+// SliceMode returns the order-(n-1) sub-tensor at coordinate idx of mode m:
+// all elements with Coords[m] == idx, with mode m removed.
+func (t *Tensor) SliceMode(m int, idx uint64) (*Tensor, error) {
+	if m < 0 || m >= t.Order() {
+		return nil, fmt.Errorf("%w: mode %d out of range", ErrShape, m)
+	}
+	if idx >= t.Dims[m] {
+		return nil, fmt.Errorf("%w: coordinate %d beyond extent %d", ErrShape, idx, t.Dims[m])
+	}
+	dims := make([]uint64, 0, t.Order()-1)
+	for k, d := range t.Dims {
+		if k != m {
+			dims = append(dims, d)
+		}
+	}
+	out := New(dims, 0)
+	coords := make([]uint64, len(dims))
+	for i := range t.Vals {
+		if t.Coords[m][i] != idx {
+			continue
+		}
+		coords = coords[:0]
+		for k := range t.Coords {
+			if k != m {
+				coords = append(coords, t.Coords[k][i])
+			}
+		}
+		out.Append(coords, t.Vals[i])
+	}
+	return out, nil
+}
+
+// Norm2 returns the Frobenius norm squared: Σ v².
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.Vals {
+		s += v * v
+	}
+	return s
+}
+
+// ModeHistogram counts nonzeros per coordinate of mode m — the per-slice
+// nnz distribution used to reason about load balance and slice densities.
+func (t *Tensor) ModeHistogram(m int) ([]int64, error) {
+	if m < 0 || m >= t.Order() {
+		return nil, fmt.Errorf("%w: mode %d out of range", ErrShape, m)
+	}
+	h := make([]int64, t.Dims[m])
+	for _, c := range t.Coords[m] {
+		h[c]++
+	}
+	return h, nil
+}

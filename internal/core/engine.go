@@ -1,0 +1,333 @@
+// Package core implements the FaSTCC contraction engine (paper Section 4):
+// a 2D-tiled contraction-index-outer scheme. The output index space L×R is
+// partitioned into NL×NR tiles; the inputs are sharded into per-tile
+// open-addressing hash tables keyed by the contraction index; tile–tile
+// contractions run as dynamically scheduled parallel tasks, each
+// accumulating into a worker-local dense or sparse tile and draining into a
+// worker-local chunked COO list that is finally concatenated by reference.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"fastcc/internal/accum"
+	"fastcc/internal/coo"
+	"fastcc/internal/hashtable"
+	"fastcc/internal/mempool"
+	"fastcc/internal/metrics"
+	"fastcc/internal/model"
+	"fastcc/internal/scheduler"
+)
+
+// Triple is one output nonzero in matrixized coordinates.
+type Triple struct {
+	L, R uint64
+	V    float64
+}
+
+// Config controls one contraction run. The zero value asks for model-chosen
+// tiles and accumulator on the Auto platform with GOMAXPROCS workers.
+type Config struct {
+	// Threads is the worker count; <= 0 means GOMAXPROCS.
+	Threads int
+	// TileL/TileR override the model's tile sizes when nonzero. TileR must
+	// be a power of two when a dense accumulator is used.
+	TileL, TileR uint64
+	// Accum forces the accumulator kind; AccumAuto defers to the model.
+	Accum model.AccumKind
+	// Platform supplies cache and core parameters for the model; the zero
+	// value selects model.Auto().
+	Platform model.Platform
+	// Counters, when non-nil, collects data-access statistics.
+	Counters *metrics.Counters
+	// Rep selects the input-tile representation: the paper's hash tables
+	// (default) or the sorted-array ablation.
+	Rep InputRep
+}
+
+// Stats reports what one contraction run did.
+type Stats struct {
+	Decision     model.Decision
+	TileL, TileR uint64
+	NL, NR       int
+	Threads      int
+	// Tasks is the number of tile-tile contractions executed (pairs of
+	// nonempty input tiles).
+	Tasks int
+	// OutputNNZ is the number of output nonzeros produced.
+	OutputNNZ int
+	// Phase timings (the paper's four steps; drain time is inside Contract).
+	BuildTime    time.Duration
+	ContractTime time.Duration
+	ConcatTime   time.Duration
+}
+
+// Contract runs the tiled-CO contraction O[l,r] = Σ_c L[l,c]·R[c,r] on
+// matrixized operands and returns the output as a concatenated chunk list
+// of triples (Algorithm 5/6).
+func Contract(l, r *coo.Matrix, cfg Config) (*mempool.List[Triple], *Stats, error) {
+	if cfg.Platform == (model.Platform{}) {
+		cfg.Platform = model.Auto()
+	}
+	threads := scheduler.Workers(cfg.Threads)
+	st := &Stats{Threads: threads}
+
+	if l.ExtDim == 0 || r.ExtDim == 0 || l.CtrDim == 0 {
+		return nil, nil, fmt.Errorf("core: zero-extent operand (L=%d, R=%d, C=%d)", l.ExtDim, r.ExtDim, l.CtrDim)
+	}
+	if l.CtrDim != r.CtrDim {
+		return nil, nil, fmt.Errorf("core: contraction extents differ (%d vs %d)", l.CtrDim, r.CtrDim)
+	}
+
+	// Step 0: model decision (Algorithm 7), honoring overrides.
+	in := model.Inputs{
+		NNZL: int64(l.NNZ()), NNZR: int64(r.NNZ()),
+		LDim: l.ExtDim, RDim: r.ExtDim, CDim: l.CtrDim,
+	}
+	dec, err := model.Decide(in, cfg.Platform)
+	if err != nil {
+		return nil, nil, err
+	}
+	dec = dec.ForceKind(cfg.Accum, in, cfg.Platform)
+	if cfg.TileL != 0 {
+		dec.TileL = cfg.TileL
+	}
+	if cfg.TileR != 0 {
+		dec.TileR = cfg.TileR
+	}
+	st.Decision = dec
+	tl, tr := dec.TileL, dec.TileR
+	if tl == 0 || tr == 0 {
+		return nil, nil, fmt.Errorf("core: zero tile size %dx%d", tl, tr)
+	}
+	if dec.Kind == model.AccumDense {
+		if tr&(tr-1) != 0 {
+			return nil, nil, fmt.Errorf("core: dense accumulator needs power-of-two TileR, got %d", tr)
+		}
+		if tl*tr > 1<<31 {
+			return nil, nil, fmt.Errorf("core: dense tile %dx%d exceeds addressable positions", tl, tr)
+		}
+	}
+	if tl > 1<<31 || tr > 1<<31 {
+		return nil, nil, fmt.Errorf("core: tile side exceeds 2^31 (%dx%d)", tl, tr)
+	}
+	st.TileL, st.TileR = tl, tr
+	nl := int((l.ExtDim + tl - 1) / tl)
+	nr := int((r.ExtDim + tr - 1) / tr)
+	st.NL, st.NR = nl, nr
+
+	// Step 1: parallel construction of the tiled input tables, half the
+	// workers on each operand (Section 4.2).
+	t0 := time.Now()
+	var hl, hr []*hashtable.SliceTable
+	var sl, sr []*sortedTile
+	if cfg.Rep == RepSorted {
+		sl = make([]*sortedTile, nl)
+		sr = make([]*sortedTile, nr)
+		scheduler.Teams(threads,
+			func(w, size int) { buildSortedTileTables(sl, l, tl, w, size) },
+			func(w, size int) { buildSortedTileTables(sr, r, tr, w, size) },
+		)
+	} else {
+		hl = make([]*hashtable.SliceTable, nl)
+		hr = make([]*hashtable.SliceTable, nr)
+		scheduler.Teams(threads,
+			func(w, size int) { buildTileTables(hl, l, tl, w, size) },
+			func(w, size int) { buildTileTables(hr, r, tr, w, size) },
+		)
+	}
+	st.BuildTime = time.Since(t0)
+
+	// Steps 2-4: tile-task contraction, accumulate, drain.
+	t0 = time.Now()
+	var nonEmptyL, nonEmptyR []int
+	if cfg.Rep == RepSorted {
+		nonEmptyL = nonEmptySorted(sl)
+		nonEmptyR = nonEmptySorted(sr)
+	} else {
+		nonEmptyL = nonEmptyTiles(hl)
+		nonEmptyR = nonEmptyTiles(hr)
+	}
+	tasks := len(nonEmptyL) * len(nonEmptyR)
+	st.Tasks = tasks
+
+	pools := make([]*mempool.Pool[Triple], threads)
+	workers := make([]*worker, threads)
+	sparseHint := tileNNZHint(dec, tl, tr)
+	scheduler.Pool(threads, tasks, func(w, task int) {
+		wk := workers[w]
+		if wk == nil {
+			wk = newWorker(dec.Kind, tl, tr, sparseHint)
+			workers[w] = wk
+			pools[w] = mempool.New[Triple](0)
+		}
+		i := nonEmptyL[task/len(nonEmptyR)]
+		j := nonEmptyR[task%len(nonEmptyR)]
+		if cfg.Rep == RepSorted {
+			contractTilePairSorted(sl[i], sr[j], uint64(i)*tl, uint64(j)*tr, wk, pools[w], cfg.Counters)
+		} else {
+			contractTilePair(hl[i], hr[j], uint64(i)*tl, uint64(j)*tr, wk, pools[w], cfg.Counters)
+		}
+	})
+	st.ContractTime = time.Since(t0)
+
+	// Final step: concatenate thread-local lists by pointer movement.
+	t0 = time.Now()
+	out := mempool.Concat(pools...)
+	st.ConcatTime = time.Since(t0)
+	st.OutputNNZ = out.Len()
+	cfg.Counters.AddOutput(int64(out.Len()))
+	if dec.Kind == model.AccumDense {
+		cfg.Counters.MaxWorkspace(int64(tl) * int64(tr) * int64(threads))
+	}
+	return out, st, nil
+}
+
+// worker holds the per-worker reusable accumulator.
+type worker struct {
+	acc accum.Accumulator
+}
+
+func newWorker(kind model.AccumKind, tl, tr uint64, sparseHint int) *worker {
+	switch kind {
+	case model.AccumSparse:
+		return &worker{acc: accum.NewSparse(sparseHint)}
+	default:
+		return &worker{acc: accum.NewDense(uint32(tl), uint32(tr))}
+	}
+}
+
+// tileNNZHint sizes the sparse accumulator from the model's expected
+// nonzeros per tile, bounded to keep initial allocations modest.
+func tileNNZHint(dec model.Decision, tl, tr uint64) int {
+	e := dec.PNonzero * float64(tl) * float64(tr)
+	switch {
+	case e < 64:
+		return 64
+	case e > 1<<22:
+		return 1 << 22
+	default:
+		return int(e)
+	}
+}
+
+// buildTileTables builds the per-tile hash tables this worker owns
+// (ownership i mod teamSize == w) by scanning the whole operand and
+// filtering — the paper's thread-local construction scheme. Workers write
+// disjoint slots of tables, so no synchronization is needed beyond the
+// team barrier.
+func buildTileTables(tables []*hashtable.SliceTable, m *coo.Matrix, tile uint64, w, teamSize int) {
+	nnz := m.NNZ()
+	hint := 0
+	if len(tables) > 0 {
+		hint = nnz / len(tables)
+	}
+	// Tile sides are powers of two whenever the model chose them; replace
+	// the division in the hot filter loop with a shift in that case.
+	shift := -1
+	if tile&(tile-1) == 0 {
+		shift = bits.TrailingZeros64(tile)
+	}
+	mask := tile - 1
+	for k := 0; k < nnz; k++ {
+		ext := m.Ext[k]
+		var i int
+		var intra uint32
+		if shift >= 0 {
+			i = int(ext >> shift)
+			intra = uint32(ext & mask)
+		} else {
+			i = int(ext / tile)
+			intra = uint32(ext - uint64(i)*tile)
+		}
+		if i%teamSize != w {
+			continue
+		}
+		t := tables[i]
+		if t == nil {
+			t = hashtable.NewSliceTable(hint)
+			tables[i] = t
+		}
+		t.Insert(m.Ctr[k], intra, m.Val[k])
+	}
+}
+
+// nonEmptyTiles lists the indices of tiles holding at least one nonzero.
+func nonEmptyTiles(tables []*hashtable.SliceTable) []int {
+	out := make([]int, 0, len(tables))
+	for i, t := range tables {
+		if t != nil && t.Len() > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// contractTilePair computes one output tile (Algorithm 6): co-iterate the
+// contraction keys of the two input tiles, form the outer product of the
+// matching slices into the worker's accumulator, then drain to the
+// worker-local COO list with global coordinates restored.
+func contractTilePair(hl, hr *hashtable.SliceTable, baseL, baseR uint64,
+	wk *worker, pool *mempool.Pool[Triple], ctr *metrics.Counters) {
+
+	// Iterate the table with fewer distinct keys and probe the other: the
+	// intersection is the same, the query count smaller.
+	probeInto := hr
+	iter := hl
+	swapped := false
+	if hr.Len() < hl.Len() {
+		iter, probeInto = hr, hl
+		swapped = true
+	}
+	var queries, volume, updates int64
+	// Devirtualize the accumulator for the upsert-dominated inner loops:
+	// the interface call would otherwise sit on every multiply-accumulate.
+	dense, _ := wk.acc.(*accum.Dense)
+	sparse, _ := wk.acc.(*accum.Sparse)
+	iter.ForEach(func(c uint64, ips []hashtable.Pair) {
+		queries++
+		pps := probeInto.Lookup(c)
+		if pps == nil {
+			return
+		}
+		volume += int64(len(ips)) + int64(len(pps))
+		updates += int64(len(ips)) * int64(len(pps))
+		lps, rps := ips, pps
+		if swapped {
+			// iter is the right tile: ips are r-indices, pps l-indices.
+			lps, rps = pps, ips
+		}
+		switch {
+		case dense != nil:
+			for _, lp := range lps {
+				lv, li := lp.Val, lp.Idx
+				for _, rp := range rps {
+					dense.Upsert(li, rp.Idx, lv*rp.Val)
+				}
+			}
+		case sparse != nil:
+			for _, lp := range lps {
+				lv, li := lp.Val, lp.Idx
+				for _, rp := range rps {
+					sparse.Upsert(li, rp.Idx, lv*rp.Val)
+				}
+			}
+		default:
+			acc := wk.acc
+			for _, lp := range lps {
+				lv, li := lp.Val, lp.Idx
+				for _, rp := range rps {
+					acc.Upsert(li, rp.Idx, lv*rp.Val)
+				}
+			}
+		}
+	})
+	ctr.AddQueries(queries)
+	ctr.AddVolume(volume)
+	ctr.AddUpdates(updates)
+	wk.acc.Drain(func(l, r uint32, v float64) {
+		pool.Append(Triple{L: baseL + uint64(l), R: baseR + uint64(r), V: v})
+	})
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/bits"
+
+	"fastcc/internal/accum"
+	"fastcc/internal/coo"
+	"fastcc/internal/hashtable"
+	"fastcc/internal/mempool"
+	"fastcc/internal/metrics"
+	"fastcc/internal/radix"
+)
+
+// InputRep selects how input tiles are represented. The paper's design is
+// hash tables keyed by the contraction index (RepHash); RepSorted is an
+// engineering ablation that stores each tile as c-sorted grouped arrays
+// and co-iterates tile pairs by sorted merge — no hashing, but an
+// O(nnz_tile log nnz_tile) radix sort per tile at build time and a merge
+// walk over both key sets per tile pair.
+type InputRep int
+
+const (
+	// RepHash uses open-addressing hash tables (the paper's FaSTCC).
+	RepHash InputRep = iota
+	// RepSorted uses radix-sorted grouped arrays with merge co-iteration.
+	RepSorted
+)
+
+func (r InputRep) String() string {
+	if r == RepSorted {
+		return "sorted"
+	}
+	return "hash"
+}
+
+// sortedTile is one input tile in RepSorted form: distinct contraction
+// indices ascending in keys, with offs[k]..offs[k+1] bounding the pairs of
+// key k (a per-tile CSR over c).
+type sortedTile struct {
+	keys  []uint64
+	offs  []int32
+	pairs []hashtable.Pair
+}
+
+// rawTile accumulates a tile's nonzeros during the scan, before sorting.
+type rawTile struct {
+	cs    []uint64
+	pairs []hashtable.Pair
+}
+
+// buildSortedTileTables is the RepSorted analogue of buildTileTables:
+// worker w gathers the nonzeros of its owned tiles, then radix-sorts each
+// tile by contraction index and compresses runs into the CSR form.
+func buildSortedTileTables(tables []*sortedTile, m *coo.Matrix, tile uint64, w, teamSize int) {
+	nnz := m.NNZ()
+	raws := make([]*rawTile, len(tables))
+	shift := -1
+	if tile&(tile-1) == 0 {
+		shift = bits.TrailingZeros64(tile)
+	}
+	mask := tile - 1
+	for k := 0; k < nnz; k++ {
+		ext := m.Ext[k]
+		var i int
+		var intra uint32
+		if shift >= 0 {
+			i = int(ext >> shift)
+			intra = uint32(ext & mask)
+		} else {
+			i = int(ext / tile)
+			intra = uint32(ext - uint64(i)*tile)
+		}
+		if i%teamSize != w {
+			continue
+		}
+		rt := raws[i]
+		if rt == nil {
+			rt = &rawTile{}
+			raws[i] = rt
+		}
+		rt.cs = append(rt.cs, m.Ctr[k])
+		rt.pairs = append(rt.pairs, hashtable.Pair{Idx: intra, Val: m.Val[k]})
+	}
+	for i, rt := range raws {
+		if rt == nil {
+			continue
+		}
+		perm := make([]uint32, len(rt.cs))
+		for j := range perm {
+			perm[j] = uint32(j)
+		}
+		// Per-tile sorts run inside an already-parallel team: one worker.
+		radix.SortWithPerm(rt.cs, perm, 1)
+		st := &sortedTile{pairs: make([]hashtable.Pair, len(rt.pairs))}
+		for p, orig := range perm {
+			st.pairs[p] = rt.pairs[orig]
+		}
+		for j, c := range rt.cs {
+			if j == 0 || c != rt.cs[j-1] {
+				st.keys = append(st.keys, c)
+				st.offs = append(st.offs, int32(j))
+			}
+		}
+		st.offs = append(st.offs, int32(len(rt.cs)))
+		tables[i] = st
+	}
+}
+
+// nonEmptySorted lists tiles holding at least one nonzero.
+func nonEmptySorted(tables []*sortedTile) []int {
+	out := make([]int, 0, len(tables))
+	for i, t := range tables {
+		if t != nil && len(t.keys) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// contractTilePairSorted computes one output tile by merging the two
+// tiles' sorted key arrays; matching keys contract their pair runs by
+// outer product into the worker's accumulator.
+func contractTilePairSorted(sl, sr *sortedTile, baseL, baseR uint64,
+	wk *worker, pool *mempool.Pool[Triple], ctr *metrics.Counters) {
+
+	var queries, volume, updates int64
+	dense, _ := wk.acc.(*accum.Dense)
+	sparse, _ := wk.acc.(*accum.Sparse)
+	i, j := 0, 0
+	for i < len(sl.keys) && j < len(sr.keys) {
+		queries++
+		switch {
+		case sl.keys[i] < sr.keys[j]:
+			i++
+		case sl.keys[i] > sr.keys[j]:
+			j++
+		default:
+			lps := sl.pairs[sl.offs[i]:sl.offs[i+1]]
+			rps := sr.pairs[sr.offs[j]:sr.offs[j+1]]
+			volume += int64(len(lps)) + int64(len(rps))
+			updates += int64(len(lps)) * int64(len(rps))
+			switch {
+			case dense != nil:
+				for _, lp := range lps {
+					lv, li := lp.Val, lp.Idx
+					for _, rp := range rps {
+						dense.Upsert(li, rp.Idx, lv*rp.Val)
+					}
+				}
+			case sparse != nil:
+				for _, lp := range lps {
+					lv, li := lp.Val, lp.Idx
+					for _, rp := range rps {
+						sparse.Upsert(li, rp.Idx, lv*rp.Val)
+					}
+				}
+			default:
+				for _, lp := range lps {
+					lv, li := lp.Val, lp.Idx
+					for _, rp := range rps {
+						wk.acc.Upsert(li, rp.Idx, lv*rp.Val)
+					}
+				}
+			}
+			i++
+			j++
+		}
+	}
+	ctr.AddQueries(queries)
+	ctr.AddVolume(volume)
+	ctr.AddUpdates(updates)
+	wk.acc.Drain(func(l, r uint32, v float64) {
+		pool.Append(Triple{L: baseL + uint64(l), R: baseR + uint64(r), V: v})
+	})
+}

@@ -1,0 +1,30 @@
+package csf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBuild100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	t := randomTensor(rng, []uint64{1 << 12, 1 << 8, 1 << 10}, 100_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(t, []int{0, 1, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFiberMatrix100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	t := randomTensor(rng, []uint64{1 << 14, 1 << 10}, 100_000)
+	m, err := t.Matrixize([]int{0}, []int{1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildFiberMatrix(m)
+	}
+}

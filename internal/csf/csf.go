@@ -1,0 +1,191 @@
+// Package csf implements the Compressed Sparse Fiber format (SPLATT-style,
+// paper Section 2.2): a sparse tensor structured as a tree whose level-k
+// nodes are the distinct mode-k indices under a fixed outer-to-inner mode
+// order, and whose leaves are the nonzeros. Construction sorts the nonzeros
+// (the O(nnz·log nnz) cost the paper attributes to CSF) and compresses runs
+// level by level.
+//
+// CSF underlies the TACO-style contraction-inner baseline: the contraction
+// index is placed innermost so fibers can be co-iterated by sorted merge.
+package csf
+
+import (
+	"fmt"
+
+	"fastcc/internal/coo"
+)
+
+// Tree is a CSF tensor. For a D-mode tensor:
+//
+//	Fids[k]      — index values of the level-k nodes (k = 0..D-1)
+//	Fptr[k][i]   — children of level-k node i are level-(k+1) nodes
+//	               Fptr[k][i] .. Fptr[k][i+1]-1  (k = 0..D-2)
+//	Vals[j]      — value of leaf j (aligned with Fids[D-1])
+//
+// Sibling Fids runs are strictly increasing, so fibers are sorted along
+// every level — the property the CI baseline's merge intersection relies on.
+type Tree struct {
+	// ModeOrder[k] is the original tensor mode stored at CSF level k.
+	ModeOrder []int
+	// Dims are the mode extents in CSF level order.
+	Dims []uint64
+	Fids [][]uint64
+	Fptr [][]int64
+	Vals []float64
+}
+
+// Build constructs a CSF tree from a COO tensor using the given
+// outer-to-inner mode order (a permutation of 0..order-1). The input is
+// cloned, permuted, sorted and deduplicated; t is not modified.
+func Build(t *coo.Tensor, modeOrder []int) (*Tree, error) {
+	d := t.Order()
+	if len(modeOrder) != d {
+		return nil, fmt.Errorf("csf: mode order has %d entries for order-%d tensor", len(modeOrder), d)
+	}
+	seen := make([]bool, d)
+	for _, m := range modeOrder {
+		if m < 0 || m >= d || seen[m] {
+			return nil, fmt.Errorf("csf: mode order %v is not a permutation", modeOrder)
+		}
+		seen[m] = true
+	}
+
+	// Permute a deep copy so the sort happens in CSF level order.
+	p := t.Clone()
+	permDims := make([]uint64, d)
+	permCoords := make([][]uint64, d)
+	for k, m := range modeOrder {
+		permDims[k] = p.Dims[m]
+		permCoords[k] = p.Coords[m]
+	}
+	p.Dims, p.Coords = permDims, permCoords
+	p.Dedup()
+
+	tr := &Tree{
+		ModeOrder: append([]int(nil), modeOrder...),
+		Dims:      permDims,
+		Fids:      make([][]uint64, d),
+		Fptr:      make([][]int64, d-1),
+		Vals:      append([]float64(nil), p.Vals...),
+	}
+	n := p.NNZ()
+	for i := 0; i < n; i++ {
+		// First level at which this element diverges from the previous one;
+		// all deeper levels start new nodes.
+		div := 0
+		if i > 0 {
+			for div < d && p.Coords[div][i] == p.Coords[div][i-1] {
+				div++
+			}
+		}
+		if i > 0 && div == d {
+			// Dedup guarantees distinct coordinates.
+			panic("csf: duplicate coordinates after dedup")
+		}
+		for k := div; k < d; k++ {
+			if k < d-1 {
+				tr.Fptr[k] = append(tr.Fptr[k], int64(len(tr.Fids[k+1])))
+			}
+			tr.Fids[k] = append(tr.Fids[k], p.Coords[k][i])
+		}
+	}
+	// Close child ranges with end sentinels.
+	for k := 0; k < d-1; k++ {
+		tr.Fptr[k] = append(tr.Fptr[k], int64(len(tr.Fids[k+1])))
+	}
+	return tr, nil
+}
+
+// Order returns the number of levels.
+func (t *Tree) Order() int { return len(t.Fids) }
+
+// NNZ returns the number of leaves.
+func (t *Tree) NNZ() int { return len(t.Vals) }
+
+// NumNodes returns the node count at level k.
+func (t *Tree) NumNodes(k int) int { return len(t.Fids[k]) }
+
+// Children returns the child node range [start, end) of node i at level k.
+func (t *Tree) Children(k, i int) (start, end int64) {
+	return t.Fptr[k][i], t.Fptr[k][i+1]
+}
+
+// ForEach walks the tree and reports every nonzero with coordinates in CSF
+// level order. Intended for tests and conversion back to COO.
+func (t *Tree) ForEach(fn func(coords []uint64, v float64)) {
+	d := t.Order()
+	coords := make([]uint64, d)
+	var walk func(k int, i int64)
+	walk = func(k int, i int64) {
+		coords[k] = t.Fids[k][i]
+		if k == d-1 {
+			fn(coords, t.Vals[i])
+			return
+		}
+		start, end := t.Children(k, int(i))
+		for c := start; c < end; c++ {
+			walk(k+1, c)
+		}
+	}
+	for i := 0; i < t.NumNodes(0); i++ {
+		walk(0, int64(i))
+	}
+}
+
+// ToCOO converts the tree back to a COO tensor in ORIGINAL mode order.
+func (t *Tree) ToCOO() *coo.Tensor {
+	d := t.Order()
+	origDims := make([]uint64, d)
+	for k, m := range t.ModeOrder {
+		origDims[m] = t.Dims[k]
+	}
+	out := coo.New(origDims, t.NNZ())
+	orig := make([]uint64, d)
+	t.ForEach(func(coords []uint64, v float64) {
+		for k, m := range t.ModeOrder {
+			orig[m] = coords[k]
+		}
+		out.Append(orig, v)
+	})
+	return out
+}
+
+// FiberMatrix is the two-level CSF specialization used by the CI baseline:
+// roots are linearized external indices, leaves are linearized contraction
+// indices sorted within each fiber (a CSR matrix with explicit row ids).
+type FiberMatrix struct {
+	RootIDs []uint64  // distinct external indices, ascending
+	Ptr     []int64   // fiber j spans Ptr[j] .. Ptr[j+1]-1
+	CtrIDs  []uint64  // contraction indices, ascending within each fiber
+	Vals    []float64 // aligned with CtrIDs
+}
+
+// BuildFiberMatrix builds the two-level CSF for a matrixized operand with
+// the external index outer and the contraction index inner (the layout TACO
+// requires for the CI scheme, Section 3.1).
+func BuildFiberMatrix(m *coo.Matrix) *FiberMatrix {
+	// Assemble a 2-mode COO tensor (ext, ctr) and reuse the tree builder.
+	t := coo.New([]uint64{m.ExtDim, m.CtrDim}, m.NNZ())
+	t.Coords[0] = append(t.Coords[0], m.Ext...)
+	t.Coords[1] = append(t.Coords[1], m.Ctr...)
+	t.Vals = append(t.Vals, m.Val...)
+	tr, err := Build(t, []int{0, 1})
+	if err != nil {
+		panic("csf: two-mode build cannot fail: " + err.Error())
+	}
+	return &FiberMatrix{
+		RootIDs: tr.Fids[0],
+		Ptr:     tr.Fptr[0],
+		CtrIDs:  tr.Fids[1],
+		Vals:    tr.Vals,
+	}
+}
+
+// NumFibers returns the number of nonempty external slices.
+func (f *FiberMatrix) NumFibers() int { return len(f.RootIDs) }
+
+// Fiber returns the sorted (ctr, val) arrays of fiber j.
+func (f *FiberMatrix) Fiber(j int) (ctr []uint64, vals []float64) {
+	s, e := f.Ptr[j], f.Ptr[j+1]
+	return f.CtrIDs[s:e], f.Vals[s:e]
+}

@@ -1,0 +1,180 @@
+package csf
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fastcc/internal/coo"
+)
+
+func randomTensor(rng *rand.Rand, dims []uint64, nnz int) *coo.Tensor {
+	t := coo.New(dims, nnz)
+	coords := make([]uint64, len(dims))
+	for i := 0; i < nnz; i++ {
+		for m, d := range dims {
+			coords[m] = rng.Uint64() % d
+		}
+		t.Append(coords, float64(rng.Intn(9)+1))
+	}
+	return t
+}
+
+func TestBuildSmallKnownTree(t *testing.T) {
+	// 2x3 matrix: (0,1)=a (0,2)=b (1,0)=c
+	m := coo.New([]uint64{2, 3}, 3)
+	m.Append([]uint64{0, 1}, 1)
+	m.Append([]uint64{0, 2}, 2)
+	m.Append([]uint64{1, 0}, 3)
+	tr, err := Build(m, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes(0) != 2 || tr.NNZ() != 3 {
+		t.Fatalf("roots=%d nnz=%d", tr.NumNodes(0), tr.NNZ())
+	}
+	if tr.Fids[0][0] != 0 || tr.Fids[0][1] != 1 {
+		t.Fatalf("root ids %v", tr.Fids[0])
+	}
+	s, e := tr.Children(0, 0)
+	if s != 0 || e != 2 {
+		t.Fatalf("children of root 0: [%d,%d)", s, e)
+	}
+	s, e = tr.Children(0, 1)
+	if s != 2 || e != 3 {
+		t.Fatalf("children of root 1: [%d,%d)", s, e)
+	}
+	if tr.Fids[1][0] != 1 || tr.Fids[1][1] != 2 || tr.Fids[1][2] != 0 {
+		t.Fatalf("leaf ids %v", tr.Fids[1])
+	}
+	if tr.Vals[2] != 3 {
+		t.Fatalf("vals %v", tr.Vals)
+	}
+}
+
+func TestBuildRejectsBadModeOrder(t *testing.T) {
+	m := coo.New([]uint64{2, 2}, 0)
+	for _, order := range [][]int{{0}, {0, 0}, {0, 2}, {-1, 0}} {
+		if _, err := Build(m, order); err == nil {
+			t.Fatalf("order %v: want error", order)
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := rng.Intn(3) + 2
+		dims := make([]uint64, order)
+		for m := range dims {
+			dims[m] = uint64(rng.Intn(6) + 1)
+		}
+		a := randomTensor(rng, dims, rng.Intn(60))
+		perm := rng.Perm(order)
+		tr, err := Build(a, perm)
+		if err != nil {
+			return false
+		}
+		back := tr.ToCOO()
+		ref := a.Clone()
+		ref.Dedup() // CSF dedups; compare against deduped input
+		return coo.Equal(ref, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFibersAreSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomTensor(rng, []uint64{20, 30, 10}, 400)
+	tr, err := Build(a, []int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roots strictly increasing.
+	if !sort.SliceIsSorted(tr.Fids[0], func(i, j int) bool { return tr.Fids[0][i] < tr.Fids[0][j] }) {
+		t.Fatal("roots not sorted")
+	}
+	// Every child run strictly increasing.
+	for k := 0; k < tr.Order()-1; k++ {
+		for i := 0; i < tr.NumNodes(k); i++ {
+			s, e := tr.Children(k, i)
+			for c := s + 1; c < e; c++ {
+				if tr.Fids[k+1][c-1] >= tr.Fids[k+1][c] {
+					t.Fatalf("level %d node %d: children not strictly increasing", k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildDedupsDuplicates(t *testing.T) {
+	m := coo.New([]uint64{2, 2}, 3)
+	m.Append([]uint64{1, 1}, 2)
+	m.Append([]uint64{1, 1}, 3)
+	m.Append([]uint64{0, 0}, 1)
+	tr, err := Build(m, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NNZ() != 2 {
+		t.Fatalf("nnz=%d want 2", tr.NNZ())
+	}
+	back := tr.ToCOO()
+	if got := back.At([]uint64{1, 1}); got != 5 {
+		t.Fatalf("(1,1)=%g want 5", got)
+	}
+}
+
+func TestBuildDoesNotMutateInput(t *testing.T) {
+	m := coo.New([]uint64{3, 3}, 2)
+	m.Append([]uint64{2, 0}, 1)
+	m.Append([]uint64{0, 1}, 2)
+	if _, err := Build(m, []int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Coords[0][0] != 2 || m.Vals[0] != 1 {
+		t.Fatal("Build mutated its input")
+	}
+}
+
+func TestFiberMatrix(t *testing.T) {
+	m := &coo.Matrix{
+		Ext:    []uint64{5, 5, 2, 5},
+		Ctr:    []uint64{9, 1, 4, 6},
+		Val:    []float64{1, 2, 3, 4},
+		ExtDim: 10, CtrDim: 10,
+	}
+	fm := BuildFiberMatrix(m)
+	if fm.NumFibers() != 2 {
+		t.Fatalf("fibers=%d", fm.NumFibers())
+	}
+	if fm.RootIDs[0] != 2 || fm.RootIDs[1] != 5 {
+		t.Fatalf("roots %v", fm.RootIDs)
+	}
+	ctr, vals := fm.Fiber(1)
+	if len(ctr) != 3 || ctr[0] != 1 || ctr[1] != 6 || ctr[2] != 9 {
+		t.Fatalf("fiber 1 ctr %v", ctr)
+	}
+	if vals[0] != 2 || vals[1] != 4 || vals[2] != 1 {
+		t.Fatalf("fiber 1 vals %v", vals)
+	}
+}
+
+func TestEmptyTensor(t *testing.T) {
+	m := coo.New([]uint64{4, 4}, 0)
+	tr, err := Build(m, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NNZ() != 0 || tr.NumNodes(0) != 0 {
+		t.Fatal("empty tensor should give empty tree")
+	}
+	count := 0
+	tr.ForEach(func([]uint64, float64) { count++ })
+	if count != 0 {
+		t.Fatal("ForEach on empty tree")
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fastcc"
+)
+
+// RunFig4 reproduces paper Figure 4: execution time as a function of tile
+// size for every benchmark contraction. The characteristic U-shape — too
+// small pays tile-grid overhead and repeated input traffic, too large
+// spills the accumulator out of cache — motivates the model's tile-size
+// selection. suite selects "frostt" (Fig. 4a), "qc" (Fig. 4b) or "all".
+func RunFig4(cfg Config, suite string) error {
+	w := cfg.writer()
+	fmt.Fprintf(w, "Figure 4 (%s): execution time vs tile size (threads=%d)\n\n", suite, cfg.Threads)
+
+	for _, cs := range CatalogSuite(suite) {
+		l, r, spec, err := cs.Load(cfg)
+		if err != nil {
+			return err
+		}
+		dec, err := decideFor(cfg, l, r, spec)
+		if err != nil {
+			return err
+		}
+		t := newTable("tile", "time(s)", "tasks", "model?")
+		for _, tile := range sweepTileSizes(dec) {
+			_, stats, d, err := runFastCC(cfg, l, r, spec,
+				fastcc.WithTileSize(tile, tile), fastcc.WithAccumulator(dec.Kind))
+			if err != nil {
+				return fmt.Errorf("%s tile=%d: %w", cs.ID, tile, err)
+			}
+			mark := ""
+			if tile == dec.TileL {
+				mark = "<= model"
+			}
+			t.addf("%d|%s|%d|%s", tile, secs(d), stats.Tasks, mark)
+		}
+		fmt.Fprintf(w, "%s (accumulator=%s):\n", cs.ID, dec.Kind)
+		cfg.print(t)
+		fmt.Fprintln(w)
+	}
+	return nil
+}

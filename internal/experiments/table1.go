@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fastcc/internal/baselines"
+	"fastcc/internal/gen"
+	"fastcc/internal/metrics"
+)
+
+// RunTable1 reproduces paper Table 1: the comparative data-access analysis
+// of the three loop orders. For a family of uniform random contractions it
+// runs the instrumented CI, CM and CO engines and prints measured hash
+// queries, retrieved data volume and dense-equivalent accumulator size next
+// to the closed-form predictions:
+//
+//	CI: queries O(L·R),   volume O(L·nnzR + R·nnzL),      Size_Acc 1
+//	CM: queries L+nnzL,   volume nnzL + nnzR·nnzL/C,      Size_Acc R
+//	CO: queries O(2C),    volume nnzL + nnzR,             Size_Acc L·R
+func RunTable1(cfg Config) error {
+	w := cfg.writer()
+	fmt.Fprintln(w, "Table 1: data movement and accumulator space by loop order")
+	fmt.Fprintln(w, "(measured by instrumented engines on uniform random inputs; 'pred' = closed form)")
+	fmt.Fprintln(w)
+
+	shapes := []struct {
+		name             string
+		extL, extR, ctrC uint64
+		nnz              int
+	}{
+		{"balanced", 256, 256, 64, 4000},
+		{"wide-C", 128, 128, 1024, 4000},
+		{"narrow-C", 512, 512, 16, 4000},
+	}
+
+	t := newTable("shape", "scheme", "queries", "pred", "volume", "pred", "ws_words", "pred")
+	for _, s := range shapes {
+		l, err := gen.UniformMatrix(s.extL, s.ctrC, s.nnz, cfg.Seed, gen.Options{IntValues: true})
+		if err != nil {
+			return err
+		}
+		r, err := gen.UniformMatrix(s.extR, s.ctrC, s.nnz, cfg.Seed+1, gen.Options{IntValues: true})
+		if err != nil {
+			return err
+		}
+		nnzL, nnzR := int64(l.NNZ()), int64(r.NNZ())
+		L, R, C := int64(s.extL), int64(s.extR), int64(s.ctrC)
+
+		var ci, cm, co metrics.Counters
+		if _, err := baselines.HashCI(l, r, &ci); err != nil {
+			return err
+		}
+		if _, err := baselines.SpartaCM(l, r, 1, &cm); err != nil {
+			return err
+		}
+		if _, err := baselines.UntiledCO(l, r, &co); err != nil {
+			return err
+		}
+		sci, scm, sco := ci.Snapshot(), cm.Snapshot(), co.Snapshot()
+
+		t.addf("%s|CI|%d|%d|%d|%d|%d|%d", s.name,
+			sci.Queries, 2*L*R,
+			sci.Volume, L*nnzR+R*nnzL,
+			sci.WorkspaceWords, 1)
+		t.addf("%s|CM|%d|%d|%d|%d|%d|%d", s.name,
+			scm.Queries, L+nnzL,
+			scm.Volume, nnzL+nnzR*nnzL/C,
+			scm.WorkspaceWords, R)
+		t.addf("%s|CO|%d|%d|%d|%d|%d|%d", s.name,
+			sco.Queries, 2*C,
+			sco.Volume, nnzL+nnzR,
+			sco.WorkspaceWords, L*R)
+	}
+	cfg.print(t)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "CI pays O(L·R) queries and the largest volume; CO touches each input")
+	fmt.Fprintln(w, "nonzero once but needs an L·R-word accumulator — the trade-off FaSTCC's")
+	fmt.Fprintln(w, "tiling resolves (paper Section 3.4-3.5).")
+	return nil
+}
+
+// RunTable2 reproduces paper Table 2: the FROSTT tensor geometries actually
+// generated at the configured scale (and the paper-scale originals).
+func RunTable2(cfg Config) error {
+	w := cfg.writer()
+	fmt.Fprintf(w, "Table 2: FROSTT tensor dimensions and size (scale=%g)\n\n", cfg.ScaleFROSTT)
+	t := newTable("tensor", "paper dims", "paper nnz", "scaled dims", "generated nnz", "density")
+	for _, s := range gen.FrosttSuite {
+		sc := s.Scaled(cfg.ScaleFROSTT)
+		tn, err := sc.Generate(cfg.Seed)
+		if err != nil {
+			return err
+		}
+		t.addf("%s|%s|%d|%s|%d|%.3g", s.Name,
+			dimsString(s.Dims), s.NNZ, dimsString(sc.Dims), tn.NNZ(), tn.Density())
+	}
+	cfg.print(t)
+	return nil
+}
+
+func dimsString(dims []uint64) string {
+	s := ""
+	for i, d := range dims {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprintf("%d", d)
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fastcc"
+	"fastcc/internal/coo"
+	"fastcc/internal/model"
+)
+
+// RunTable3 reproduces paper Table 3: for every benchmark contraction it
+// reports the model's input densities, the expected nonzeros in a
+// cache-sized dense tile, the measured times with a dense and with a sparse
+// accumulator, and the model's dense/sparse choice. Runs whose dense tile
+// grid would be intractably large are reported DNF, matching the paper's
+// NIPS-2 dense entry.
+func RunTable3(cfg Config) error {
+	w := cfg.writer()
+	fmt.Fprintf(w, "Table 3: model output per contraction (platform=%s, threads=%d)\n\n",
+		cfg.Platform.Name, cfg.Threads)
+	t := newTable("contraction", "pL(%)", "pR(%)", "E_nnz(T^2)", "Time_D(s)", "Time_S(s)", "D/S")
+
+	for _, cs := range Catalog() {
+		l, r, spec, err := cs.Load(cfg)
+		if err != nil {
+			return err
+		}
+		dec, err := decideFor(cfg, l, r, spec)
+		if err != nil {
+			return err
+		}
+		choice := "D"
+		if dec.Kind == model.AccumSparse {
+			choice = "S"
+		}
+
+		// Forced-dense timing (DNF when the dense tile grid explodes).
+		timeD := "DNF"
+		if grid, err := denseGrid(l, r, spec, dec.DenseT); err == nil && grid <= 32<<20 {
+			outD, _, d, err := runFastCC(cfg, l, r, spec, fastcc.WithAccumulator(fastcc.AccumDense))
+			if err != nil {
+				return fmt.Errorf("%s dense: %w", cs.ID, err)
+			}
+			timeD = secs(d)
+			if cfg.Verify {
+				outS, _, _, err := runFastCC(cfg, l, r, spec, fastcc.WithAccumulator(fastcc.AccumSparse))
+				if err != nil {
+					return err
+				}
+				if err := verifyAgainst(cs.ID, outD, outS); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Forced-sparse timing.
+		_, _, dS, err := runFastCC(cfg, l, r, spec, fastcc.WithAccumulator(fastcc.AccumSparse))
+		if err != nil {
+			return fmt.Errorf("%s sparse: %w", cs.ID, err)
+		}
+
+		t.addf("%s|%.3g|%.3g|%.3g|%s|%s|%s",
+			cs.ID, dec.PL*100, dec.PR*100, dec.ENNZ, timeD, secs(dS), choice)
+	}
+	cfg.print(t)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "D/S is the model's choice (Algorithm 7): dense when a cache-sized tile")
+	fmt.Fprintln(w, "expects at least one nonzero, sparse otherwise.")
+	return nil
+}
+
+// decideFor runs the model on the matrixized statistics of a contraction.
+func decideFor(cfg Config, l, r *coo.Tensor, spec coo.Spec) (model.Decision, error) {
+	extL := coo.ExternalModes(l.Order(), spec.CtrLeft)
+	extR := coo.ExternalModes(r.Order(), spec.CtrRight)
+	lDims := make([]uint64, 0, len(extL))
+	for _, m := range extL {
+		lDims = append(lDims, l.Dims[m])
+	}
+	rDims := make([]uint64, 0, len(extR))
+	for _, m := range extR {
+		rDims = append(rDims, r.Dims[m])
+	}
+	cDims := make([]uint64, 0, len(spec.CtrLeft))
+	for _, m := range spec.CtrLeft {
+		cDims = append(cDims, l.Dims[m])
+	}
+	lSize, err := coo.LinearSize(lDims)
+	if err != nil {
+		return model.Decision{}, err
+	}
+	rSize, err := coo.LinearSize(rDims)
+	if err != nil {
+		return model.Decision{}, err
+	}
+	cSize, err := coo.LinearSize(cDims)
+	if err != nil {
+		return model.Decision{}, err
+	}
+	return model.Decide(model.Inputs{
+		NNZL: int64(l.NNZ()), NNZR: int64(r.NNZ()),
+		LDim: lSize, RDim: rSize, CDim: cSize,
+	}, cfg.Platform)
+}

@@ -1,0 +1,29 @@
+package gen
+
+import "testing"
+
+func BenchmarkUniform100k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Uniform([]uint64{1 << 12, 1 << 12, 64}, 100_000, uint64(i), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDLPNOGuanineSmall(b *testing.B) {
+	m := Guanine.Scaled(0.05)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.TEvv()
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"fastcc/internal/coo"
+)
+
+// FrosttSpec describes one FROSTT benchmark tensor (paper Table 2) and the
+// self-contraction mode sets the Sparta evaluation uses on it.
+type FrosttSpec struct {
+	Name string
+	// Dims are the paper's mode extents.
+	Dims []uint64
+	// NNZ is the paper's nonzero count.
+	NNZ int
+	// Contractions lists the evaluated self-contraction mode sets; e.g.
+	// Chicago is contracted over {0}, {0,1} and {1,2,3}.
+	Contractions [][]int
+	// Skew is the coordinate skew used when synthesizing the tensor
+	// (FROSTT data are clustered, not uniform).
+	Skew float64
+}
+
+// FrosttSuite reproduces Table 2 of the paper with the contraction sets of
+// Section 6.1 (named there nips2/nips23/nips013, chic0/chic01/chic123,
+// uber02/uber123, vast01/vast014).
+var FrosttSuite = []FrosttSpec{
+	{
+		Name: "nips",
+		Dims: []uint64{2482, 2862, 14036, 17},
+		NNZ:  3_101_609,
+		Contractions: [][]int{
+			{2},       // nips2
+			{2, 3},    // nips23
+			{0, 1, 3}, // nips013
+		},
+		Skew: 2,
+	},
+	{
+		Name: "chicago",
+		Dims: []uint64{6186, 24, 77, 32},
+		NNZ:  5_330_673,
+		Contractions: [][]int{
+			{0},       // chic0
+			{0, 1},    // chic01
+			{1, 2, 3}, // chic123
+		},
+		Skew: 1.5,
+	},
+	{
+		Name: "vast",
+		Dims: []uint64{165_427, 11_374, 2, 100, 89},
+		NNZ:  26_021_945,
+		Contractions: [][]int{
+			{0, 1},    // vast01
+			{0, 1, 4}, // vast014
+		},
+		Skew: 1.5,
+	},
+	{
+		Name: "uber",
+		Dims: []uint64{183, 24, 1140, 1717},
+		NNZ:  3_309_490,
+		Contractions: [][]int{
+			{0, 2},    // uber02
+			{1, 2, 3}, // uber123
+		},
+		Skew: 1.5,
+	},
+}
+
+// FrosttByName returns the spec with the given name.
+func FrosttByName(name string) (FrosttSpec, error) {
+	for _, s := range FrosttSuite {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return FrosttSpec{}, fmt.Errorf("gen: unknown FROSTT tensor %q", name)
+}
+
+// Scaled returns a copy of the spec shrunk by the given factor in [0, 1]:
+// nonzeros scale by the factor and every mode extent by factor^(1/order),
+// which preserves the tensor's density — and therefore the model's
+// dense/sparse decisions — at laptop-sized nonzero counts.
+func (s FrosttSpec) Scaled(scale float64) FrosttSpec {
+	if scale >= 1 || scale <= 0 {
+		return s
+	}
+	out := s
+	out.Dims = make([]uint64, len(s.Dims))
+	dimScale := math.Pow(scale, 1/float64(len(s.Dims)))
+	for m, d := range s.Dims {
+		nd := uint64(math.Round(float64(d) * dimScale))
+		if nd < 2 {
+			nd = 2
+		}
+		out.Dims[m] = nd
+	}
+	out.NNZ = int(float64(s.NNZ) * scale)
+	if out.NNZ < 16 {
+		out.NNZ = 16
+	}
+	return out
+}
+
+// Generate synthesizes the tensor: distinct coordinates with the spec's
+// skew, deterministic in the seed.
+func (s FrosttSpec) Generate(seed uint64) (*coo.Tensor, error) {
+	return Uniform(s.Dims, s.NNZ, seed, Options{Skew: s.Skew})
+}
+
+// ContractionName renders the paper's naming convention: tensor name plus
+// the contracted mode digits (e.g. "chicago-0", "nips-23").
+func ContractionName(tensor string, modes []int) string {
+	name := tensor + "-"
+	for _, m := range modes {
+		name += fmt.Sprintf("%d", m)
+	}
+	return name
+}

@@ -1,0 +1,288 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"fastcc/internal/coo"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds agree %d/100 times", same)
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Uint64n(17); v >= 17 {
+			t.Fatalf("Uint64n out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		if v := r.IntValue(); v < 1 || v > 9 {
+			t.Fatalf("IntValue out of range: %g", v)
+		}
+		if v := r.Value(); v == 0 || math.Abs(v) > 1.1 {
+			t.Fatalf("Value out of range: %g", v)
+		}
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(99)
+	const buckets, draws = 16, 160000
+	var hist [buckets]int
+	for i := 0; i < draws; i++ {
+		hist[r.Uint64n(buckets)]++
+	}
+	want := draws / buckets
+	for b, c := range hist {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d has %d draws, want ≈%d", b, c, want)
+		}
+	}
+}
+
+func TestSkewedBiasesLow(t *testing.T) {
+	r := NewRNG(5)
+	const n, draws = 1000, 20000
+	lowUniform, lowSkewed := 0, 0
+	for i := 0; i < draws; i++ {
+		if r.Skewed(n, 1) < n/10 {
+			lowUniform++
+		}
+		if r.Skewed(n, 3) < n/10 {
+			lowSkewed++
+		}
+	}
+	if lowSkewed < 2*lowUniform {
+		t.Fatalf("skew 3 low-decile share %d not ≫ uniform %d", lowSkewed, lowUniform)
+	}
+}
+
+func TestUniformDistinctAndValid(t *testing.T) {
+	tn, err := Uniform([]uint64{30, 20, 10}, 500, 9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tn.NNZ() != 500 {
+		t.Fatalf("nnz=%d", tn.NNZ())
+	}
+	c := tn.Clone()
+	c.Dedup()
+	if c.NNZ() != 500 {
+		t.Fatalf("coordinates not distinct: %d after dedup", c.NNZ())
+	}
+}
+
+func TestUniformClampsToHalfSpace(t *testing.T) {
+	tn, err := Uniform([]uint64{4, 4}, 1000, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.NNZ() > 8 {
+		t.Fatalf("nnz=%d exceeds half the 16-cell space", tn.NNZ())
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, _ := Uniform([]uint64{50, 50}, 200, 77, Options{Skew: 2})
+	b, _ := Uniform([]uint64{50, 50}, 200, 77, Options{Skew: 2})
+	if !coo.Equal(a, b) {
+		t.Fatal("same seed, different tensor")
+	}
+	c, _ := Uniform([]uint64{50, 50}, 200, 78, Options{Skew: 2})
+	if coo.Equal(a, c) {
+		t.Fatal("different seeds, same tensor")
+	}
+}
+
+func TestUniformHugeIndexSpace(t *testing.T) {
+	dims := []uint64{1 << 40, 1 << 40, 1 << 40} // product overflows uint64
+	tn, err := Uniform(dims, 100, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.NNZ() == 0 || tn.Validate() != nil {
+		t.Fatalf("huge-space generation broken: nnz=%d", tn.NNZ())
+	}
+}
+
+func TestUniformMatrix(t *testing.T) {
+	m, err := UniformMatrix(100, 40, 300, 5, Options{IntValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExtDim != 100 || m.CtrDim != 40 || m.NNZ() != 300 {
+		t.Fatalf("matrix %d/%d nnz=%d", m.ExtDim, m.CtrDim, m.NNZ())
+	}
+	for i := range m.Val {
+		if m.Ext[i] >= 100 || m.Ctr[i] >= 40 || m.Val[i] < 1 {
+			t.Fatalf("entry %d out of range", i)
+		}
+	}
+}
+
+func TestFrosttSuiteMatchesTable2(t *testing.T) {
+	want := map[string]struct {
+		order int
+		nnz   int
+	}{
+		"nips": {4, 3_101_609}, "chicago": {4, 5_330_673},
+		"vast": {5, 26_021_945}, "uber": {4, 3_309_490},
+	}
+	for _, s := range FrosttSuite {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Fatalf("unexpected tensor %q", s.Name)
+		}
+		if len(s.Dims) != w.order || s.NNZ != w.nnz {
+			t.Fatalf("%s: order=%d nnz=%d want %d/%d", s.Name, len(s.Dims), s.NNZ, w.order, w.nnz)
+		}
+		if len(s.Contractions) < 2 {
+			t.Fatalf("%s: needs at least 2 contraction sets", s.Name)
+		}
+	}
+	if len(FrosttSuite) != 4 {
+		t.Fatalf("suite has %d tensors", len(FrosttSuite))
+	}
+}
+
+func TestFrosttScaledPreservesDensity(t *testing.T) {
+	s, err := FrosttByName("chicago")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := s.Scaled(0.01)
+	orig := float64(s.NNZ)
+	for _, d := range s.Dims {
+		orig /= float64(d)
+	}
+	scaled := float64(sc.NNZ)
+	for _, d := range sc.Dims {
+		scaled /= float64(d)
+	}
+	if scaled < orig/3 || scaled > orig*3 {
+		t.Fatalf("density drifted: %g vs %g", scaled, orig)
+	}
+	if sc.NNZ >= s.NNZ {
+		t.Fatal("scale did not shrink")
+	}
+	if full := s.Scaled(1.5); full.NNZ != s.NNZ {
+		t.Fatal("scale >= 1 should be identity")
+	}
+}
+
+func TestFrosttGenerate(t *testing.T) {
+	s, _ := FrosttByName("uber")
+	sc := s.Scaled(0.002)
+	tn, err := sc.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tn.NNZ() < sc.NNZ/2 {
+		t.Fatalf("nnz=%d want ≈%d", tn.NNZ(), sc.NNZ)
+	}
+	if _, err := FrosttByName("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestContractionName(t *testing.T) {
+	if got := ContractionName("chicago", []int{1, 2, 3}); got != "chicago-123" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDLPNODensityOrdering(t *testing.T) {
+	// The paper's structure: p(TE_vv) ≫ p(TE_ov) > p(TE_oo) for both
+	// molecules, with caffeine denser than guanine in vv.
+	for _, mol := range Molecules {
+		m := mol.Scaled(0.05)
+		vv, ov, oo := m.TEvv(), m.TEov(), m.TEoo()
+		for _, tn := range []*coo.Tensor{vv, ov, oo} {
+			if err := tn.Validate(); err != nil {
+				t.Fatalf("%s: %v", m.Name, err)
+			}
+			if tn.NNZ() == 0 {
+				t.Fatalf("%s: empty tensor", m.Name)
+			}
+		}
+		dvv, dov, doo := vv.Density(), ov.Density(), oo.Density()
+		if !(dvv > 3*dov) {
+			t.Fatalf("%s: vv density %g not ≫ ov %g", m.Name, dvv, dov)
+		}
+		if !(dov > doo) {
+			t.Fatalf("%s: ov density %g not > oo %g", m.Name, dov, doo)
+		}
+	}
+}
+
+func TestDLPNOContractionKinds(t *testing.T) {
+	m := Guanine.Scaled(0.02)
+	for _, kind := range QCKinds {
+		l, r, spec, err := m.Contraction(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spec.Validate(l, r); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if l.Order() != 3 || r.Order() != 3 {
+			t.Fatalf("%s: operand orders %d/%d", kind, l.Order(), r.Order())
+		}
+	}
+	if _, _, _, err := m.Contraction("xxxx"); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+	if _, err := MoleculeByName("water"); err == nil {
+		t.Fatal("unknown molecule should error")
+	}
+	if g, err := MoleculeByName("guanine"); err != nil || g.Name != "guanine" {
+		t.Fatal("MoleculeByName failed")
+	}
+}
+
+func TestDLPNODeterministic(t *testing.T) {
+	a := Guanine.Scaled(0.02).TEov()
+	b := Guanine.Scaled(0.02).TEov()
+	if !coo.Equal(a, b) {
+		t.Fatal("DLPNO generation not deterministic")
+	}
+}
+
+func TestMoleculeScaledShrinks(t *testing.T) {
+	m := Caffeine.Scaled(0.1)
+	if m.NOcc >= Caffeine.NOcc || m.NVirt >= Caffeine.NVirt || m.NAux >= Caffeine.NAux {
+		t.Fatalf("not shrunk: %+v", m)
+	}
+	if m.NOcc < 4 || m.NVirt < 4 || m.NAux < 4 {
+		t.Fatalf("shrunk below floor: %+v", m)
+	}
+	if id := Caffeine.Scaled(2); id.NOcc != Caffeine.NOcc {
+		t.Fatal("scale > 1 should be identity")
+	}
+}

@@ -1,0 +1,97 @@
+// Package gen generates the benchmark workloads of the paper's evaluation
+// (Section 6.1): uniform random sparse tensors, synthetic FROSTT-geometry
+// tensors (Table 2), and block-sparse DLPNO quantum-chemistry tensors for
+// the ovov/vvoo/vvov contractions. All generators are deterministic given a
+// seed, so experiments are reproducible run to run.
+package gen
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a small, fast, deterministic generator (xoshiro256** seeded via
+// splitmix64). It is independent of math/rand so generated workloads stay
+// byte-identical across Go releases.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG seeds the generator. Any seed (including 0) is valid.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 stream to fill the state (never all-zero).
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("gen: Uint64n(0)")
+	}
+	// Multiply-shift rejection-free mapping (slight bias < 2^-64·n,
+	// irrelevant for workload generation).
+	hi, _ := bits.Mul64(r.Uint64(), n)
+	return hi
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *RNG) Intn(n int) int { return int(r.Uint64n(uint64(n))) }
+
+// Value returns a nonzero tensor value: uniform magnitude in (0.1, 1.1)
+// with random sign, so accumulated results rarely cancel exactly.
+func (r *RNG) Value() float64 {
+	v := 0.1 + r.Float64()
+	if r.Uint64()&1 == 0 {
+		return -v
+	}
+	return v
+}
+
+// IntValue returns a small nonzero integer value in [1, 9] — exact in
+// float64 accumulation, used where tests require bit-exact comparisons.
+func (r *RNG) IntValue() float64 { return float64(r.Intn(9) + 1) }
+
+// Skewed returns a coordinate in [0, n) biased toward low indices with the
+// given skew exponent: 1 is uniform; larger values concentrate mass (a
+// crude stand-in for the nonuniform coordinate distributions of real
+// FROSTT tensors).
+func (r *RNG) Skewed(n uint64, skew float64) uint64 {
+	if skew <= 1 {
+		return r.Uint64n(n)
+	}
+	u := r.Float64()
+	c := uint64(math.Pow(u, skew) * float64(n))
+	if c >= n {
+		c = n - 1
+	}
+	return c
+}

@@ -1,0 +1,248 @@
+package hashtable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d want %d", in, got, want)
+		}
+	}
+}
+
+func TestMixSpreadsSequentialKeys(t *testing.T) {
+	// Sequential keys must not collide in low bits after mixing.
+	const n, maskBits = 4096, 12
+	seen := map[uint64]int{}
+	for i := uint64(0); i < n; i++ {
+		seen[Mix(i)&((1<<maskBits)-1)]++
+	}
+	// Perfectly uniform would be 1 per slot; allow modest clumping.
+	for slot, c := range seen {
+		if c > 8 {
+			t.Fatalf("slot %d has %d sequential keys; Mix too weak", slot, c)
+		}
+	}
+	if len(seen) < n/3 {
+		t.Fatalf("only %d distinct slots for %d keys", len(seen), n)
+	}
+}
+
+func TestSliceTableBasic(t *testing.T) {
+	tb := NewSliceTable(0)
+	tb.Insert(7, 1, 1.5)
+	tb.Insert(7, 2, 2.5)
+	tb.Insert(9, 3, 3.5)
+	if tb.Len() != 2 || tb.Pairs() != 3 {
+		t.Fatalf("Len=%d Pairs=%d", tb.Len(), tb.Pairs())
+	}
+	ps := tb.Lookup(7)
+	if len(ps) != 2 || ps[0] != (Pair{1, 1.5}) || ps[1] != (Pair{2, 2.5}) {
+		t.Fatalf("Lookup(7) = %v", ps)
+	}
+	if tb.Lookup(8) != nil {
+		t.Fatal("Lookup(8) should be nil")
+	}
+	if !tb.Contains(9) || tb.Contains(10) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestSliceTableGrowPreservesAll(t *testing.T) {
+	tb := NewSliceTable(0) // force many grows
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		tb.Insert(i*3, uint32(i), float64(i))
+		tb.Insert(i*3, uint32(i+1), float64(i)+0.5)
+	}
+	if tb.Len() != n || tb.Pairs() != 2*n {
+		t.Fatalf("Len=%d Pairs=%d", tb.Len(), tb.Pairs())
+	}
+	for i := uint64(0); i < n; i++ {
+		ps := tb.Lookup(i * 3)
+		if len(ps) != 2 || ps[0].Val != float64(i) {
+			t.Fatalf("key %d: %v", i*3, ps)
+		}
+	}
+}
+
+func TestSliceTableForEachAndKeys(t *testing.T) {
+	tb := NewSliceTable(4)
+	want := map[uint64]int{}
+	for i := uint64(0); i < 100; i++ {
+		k := i % 17
+		tb.Insert(k, uint32(i), 1)
+		want[k]++
+	}
+	visited := 0
+	tb.ForEach(func(k uint64, ps []Pair) {
+		visited++
+		if len(ps) != want[k] {
+			t.Fatalf("key %d has %d pairs want %d", k, len(ps), want[k])
+		}
+	})
+	if visited != 17 {
+		t.Fatalf("ForEach visited %d keys", visited)
+	}
+	keys := tb.Keys(nil)
+	if len(keys) != 17 {
+		t.Fatalf("Keys returned %d", len(keys))
+	}
+}
+
+func TestSliceTableVersusMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewSliceTable(0)
+		model := map[uint64][]Pair{}
+		for i := 0; i < 500; i++ {
+			k := rng.Uint64() % 64
+			p := Pair{Idx: uint32(rng.Intn(100)), Val: float64(rng.Intn(10))}
+			tb.Insert(k, p.Idx, p.Val)
+			model[k] = append(model[k], p)
+		}
+		if tb.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got := tb.Lookup(k)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatTableUpsertGet(t *testing.T) {
+	tb := NewFloatTable(0)
+	tb.Upsert(5, 1.0)
+	tb.Upsert(5, 2.0)
+	tb.Upsert(0, -1)
+	if tb.Len() != 2 {
+		t.Fatalf("Len=%d", tb.Len())
+	}
+	if v, ok := tb.Get(5); !ok || v != 3.0 {
+		t.Fatalf("Get(5) = %g %v", v, ok)
+	}
+	if v, ok := tb.Get(0); !ok || v != -1 {
+		t.Fatalf("Get(0) = %g %v", v, ok)
+	}
+	if _, ok := tb.Get(99); ok {
+		t.Fatal("Get(99) should miss")
+	}
+}
+
+func TestFloatTableGrowAndReset(t *testing.T) {
+	tb := NewFloatTable(0)
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		tb.Upsert(i, 1)
+		tb.Upsert(i, float64(i))
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len=%d", tb.Len())
+	}
+	if tb.Grows() == 0 {
+		t.Fatal("expected growth")
+	}
+	for i := uint64(0); i < n; i += 997 {
+		if v, ok := tb.Get(i); !ok || v != 1+float64(i) {
+			t.Fatalf("Get(%d) = %g %v", i, v, ok)
+		}
+	}
+	tb.Reset()
+	if tb.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	if _, ok := tb.Get(3); ok {
+		t.Fatal("entry survived Reset")
+	}
+	tb.Upsert(3, 7)
+	if v, _ := tb.Get(3); v != 7 {
+		t.Fatalf("after reset Get(3)=%g", v)
+	}
+}
+
+func TestFloatTableForEachSum(t *testing.T) {
+	tb := NewFloatTable(8)
+	total := 0.0
+	for i := uint64(0); i < 300; i++ {
+		tb.Upsert(i%37, 2)
+		total += 2
+	}
+	sum := 0.0
+	count := 0
+	tb.ForEach(func(_ uint64, v float64) { sum += v; count++ })
+	if count != 37 || sum != total {
+		t.Fatalf("count=%d sum=%g want 37/%g", count, sum, total)
+	}
+}
+
+func TestFloatTableVersusMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewFloatTable(0)
+		model := map[uint64]float64{}
+		for i := 0; i < 1000; i++ {
+			k := rng.Uint64() % 128
+			v := float64(rng.Intn(7) - 3)
+			tb.Upsert(k, v)
+			model[k] += v
+		}
+		if tb.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			if got, ok := tb.Get(k); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatTableExtremeKeys(t *testing.T) {
+	// Keys 0 and MaxUint64 must be valid (bitmap occupancy, no sentinel).
+	tb := NewFloatTable(2)
+	tb.Upsert(0, 1)
+	tb.Upsert(^uint64(0), 2)
+	if v, ok := tb.Get(0); !ok || v != 1 {
+		t.Fatal("key 0 broken")
+	}
+	if v, ok := tb.Get(^uint64(0)); !ok || v != 2 {
+		t.Fatal("key MaxUint64 broken")
+	}
+}
+
+func BenchmarkFloatTableUpsert(b *testing.B) {
+	tb := NewFloatTable(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Upsert(uint64(i)&0xFFFF, 1.0)
+	}
+}
+
+func BenchmarkSliceTableInsert(b *testing.B) {
+	tb := NewSliceTable(1 << 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Insert(uint64(i)&0xFFF, uint32(i), 1.0)
+	}
+}

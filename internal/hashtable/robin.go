@@ -1,0 +1,143 @@
+package hashtable
+
+// RobinTable is a Robin Hood-probing variant of FloatTable. Feng et al.
+// (PPoPP '24, cited by the paper in Section 7.2) report gains over
+// Sparta's chaining tables from better hashing schemes; Robin Hood probing
+// bounds the variance of probe distances, trading slightly more work per
+// insert for shorter worst-case lookups at high load. It exists here as an
+// ablation alternative to the plain linear-probing sparse accumulator.
+//
+// Slots store the probe distance (+1, zero meaning empty) so occupancy
+// needs no bitmap and displacement compares are O(1).
+type RobinTable struct {
+	mask  uint64
+	keys  []uint64
+	vals  []float64
+	dist  []uint8 // probe distance + 1; 0 = empty
+	n     int
+	grows int
+}
+
+const robinMaxLoad = 0.85
+
+// NewRobinTable returns a table sized for about hint entries.
+func NewRobinTable(hint int) *RobinTable {
+	capacity := nextPow2(int(float64(hint)/robinMaxLoad) + 1)
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &RobinTable{
+		mask: uint64(capacity - 1),
+		keys: make([]uint64, capacity),
+		vals: make([]float64, capacity),
+		dist: make([]uint8, capacity),
+	}
+}
+
+// Len returns the number of distinct keys.
+func (t *RobinTable) Len() int { return t.n }
+
+// Grows returns the number of capacity doublings.
+func (t *RobinTable) Grows() int { return t.grows }
+
+// Upsert adds v to the value at key, inserting if absent.
+func (t *RobinTable) Upsert(key uint64, v float64) {
+	if float64(t.n+1) > robinMaxLoad*float64(len(t.keys)) {
+		t.grow()
+	}
+	slot := Mix(key) & t.mask
+	d := uint8(1)
+	for {
+		if t.dist[slot] == 0 {
+			t.keys[slot] = key
+			t.vals[slot] = v
+			t.dist[slot] = d
+			t.n++
+			return
+		}
+		if t.keys[slot] == key {
+			t.vals[slot] += v
+			return
+		}
+		if t.dist[slot] < d {
+			// Rob the rich: displace the closer-to-home resident and keep
+			// inserting it further along.
+			t.keys[slot], key = key, t.keys[slot]
+			t.vals[slot], v = v, t.vals[slot]
+			t.dist[slot], d = d, t.dist[slot]
+		}
+		slot = (slot + 1) & t.mask
+		if d == 255 {
+			// Pathological clustering: grow and retry rather than let the
+			// distance counter saturate.
+			t.grow()
+			t.Upsert(key, v)
+			return
+		}
+		d++
+	}
+}
+
+// Get returns the accumulated value for key.
+func (t *RobinTable) Get(key uint64) (float64, bool) {
+	slot := Mix(key) & t.mask
+	d := uint8(1)
+	for {
+		if t.dist[slot] == 0 || t.dist[slot] < d {
+			// A Robin Hood table keeps residents ordered by distance: once
+			// we see a closer-to-home entry, key cannot be further along.
+			return 0, false
+		}
+		if t.keys[slot] == key {
+			return t.vals[slot], true
+		}
+		slot = (slot + 1) & t.mask
+		d++
+		if d == 0 { // wrapped uint8: key definitively absent
+			return 0, false
+		}
+	}
+}
+
+// ForEach visits every (key, value).
+func (t *RobinTable) ForEach(fn func(key uint64, v float64)) {
+	for slot := range t.keys {
+		if t.dist[slot] != 0 {
+			fn(t.keys[slot], t.vals[slot])
+		}
+	}
+}
+
+// Reset drops all entries, keeping capacity.
+func (t *RobinTable) Reset() {
+	clear(t.dist)
+	t.n = 0
+}
+
+// MaxProbe returns the largest probe distance currently in the table — the
+// metric Robin Hood hashing optimizes.
+func (t *RobinTable) MaxProbe() int {
+	m := 0
+	for _, d := range t.dist {
+		if int(d) > m {
+			m = int(d)
+		}
+	}
+	return m
+}
+
+func (t *RobinTable) grow() {
+	oldKeys, oldVals, oldDist := t.keys, t.vals, t.dist
+	capacity := len(oldKeys) * 2
+	t.keys = make([]uint64, capacity)
+	t.vals = make([]float64, capacity)
+	t.dist = make([]uint8, capacity)
+	t.mask = uint64(capacity - 1)
+	t.n = 0
+	t.grows++
+	for slot, d := range oldDist {
+		if d != 0 {
+			t.Upsert(oldKeys[slot], oldVals[slot])
+		}
+	}
+}

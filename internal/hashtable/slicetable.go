@@ -1,0 +1,136 @@
+package hashtable
+
+// Pair is one nonzero of an input tile: the intra-tile external index and
+// its value. Intra-tile indices fit in uint32 because tile sides are bounded
+// by cache-derived sizes far below 2^32.
+type Pair struct {
+	Idx uint32
+	Val float64
+}
+
+const (
+	sliceMaxLoad   = 0.7
+	sliceEmptySlot = int32(-1)
+)
+
+// SliceTable is an open-addressing map from a uint64 key (the linearized
+// contraction index c) to a growable list of Pairs. It is the
+// representation HL_i : C → P({0..T_L-1} × V) from paper Section 4.1.
+//
+// Slots hold an index into a per-key list arena, so growth rehashes only
+// 12 bytes per distinct key and never moves pair data. Not concurrency-safe;
+// each builder thread owns its tables.
+type SliceTable struct {
+	mask    uint64
+	keys    []uint64
+	listIdx []int32
+	lists   [][]Pair
+	pairs   int
+}
+
+// NewSliceTable returns a table sized for about keyHint distinct keys.
+func NewSliceTable(keyHint int) *SliceTable {
+	capacity := nextPow2(int(float64(keyHint)/sliceMaxLoad) + 1)
+	if capacity < 8 {
+		capacity = 8
+	}
+	t := &SliceTable{
+		mask:    uint64(capacity - 1),
+		keys:    make([]uint64, capacity),
+		listIdx: make([]int32, capacity),
+	}
+	for i := range t.listIdx {
+		t.listIdx[i] = sliceEmptySlot
+	}
+	return t
+}
+
+// Len returns the number of distinct keys.
+func (t *SliceTable) Len() int { return len(t.lists) }
+
+// Pairs returns the total number of stored (key, pair) entries.
+func (t *SliceTable) Pairs() int { return t.pairs }
+
+// Insert appends (idx, val) to key's pair list, creating the key if new.
+func (t *SliceTable) Insert(key uint64, idx uint32, val float64) {
+	slot := t.findSlot(key)
+	if t.listIdx[slot] == sliceEmptySlot {
+		if float64(len(t.lists)+1) > sliceMaxLoad*float64(len(t.keys)) {
+			t.grow()
+			slot = t.findSlot(key)
+		}
+		t.keys[slot] = key
+		t.listIdx[slot] = int32(len(t.lists))
+		t.lists = append(t.lists, nil)
+	}
+	li := t.listIdx[slot]
+	t.lists[li] = append(t.lists[li], Pair{Idx: idx, Val: val})
+	t.pairs++
+}
+
+// Lookup returns the pair list for key, or nil when absent. The returned
+// slice is owned by the table and must not be modified.
+func (t *SliceTable) Lookup(key uint64) []Pair {
+	slot := t.findSlot(key)
+	if t.listIdx[slot] == sliceEmptySlot {
+		return nil
+	}
+	return t.lists[t.listIdx[slot]]
+}
+
+// Contains reports whether key is present.
+func (t *SliceTable) Contains(key uint64) bool {
+	return t.listIdx[t.findSlot(key)] != sliceEmptySlot
+}
+
+// ForEach visits every (key, pair list) in unspecified order.
+func (t *SliceTable) ForEach(fn func(key uint64, pairs []Pair)) {
+	for slot, li := range t.listIdx {
+		if li != sliceEmptySlot {
+			fn(t.keys[slot], t.lists[li])
+		}
+	}
+}
+
+// Keys appends all distinct keys to dst and returns it.
+func (t *SliceTable) Keys(dst []uint64) []uint64 {
+	for slot, li := range t.listIdx {
+		if li != sliceEmptySlot {
+			dst = append(dst, t.keys[slot])
+		}
+	}
+	return dst
+}
+
+// findSlot probes linearly from the key's home slot to the first slot that
+// either holds key or is empty.
+func (t *SliceTable) findSlot(key uint64) uint64 {
+	slot := Mix(key) & t.mask
+	for {
+		if t.listIdx[slot] == sliceEmptySlot || t.keys[slot] == key {
+			return slot
+		}
+		slot = (slot + 1) & t.mask
+	}
+}
+
+// grow doubles the slot array and rehashes keys; pair lists are untouched.
+func (t *SliceTable) grow() {
+	oldKeys, oldIdx := t.keys, t.listIdx
+	capacity := len(oldKeys) * 2
+	t.keys = make([]uint64, capacity)
+	t.listIdx = make([]int32, capacity)
+	t.mask = uint64(capacity - 1)
+	for i := range t.listIdx {
+		t.listIdx[i] = sliceEmptySlot
+	}
+	for slot, li := range oldIdx {
+		if li == sliceEmptySlot {
+			continue
+		}
+		k := oldKeys[slot]
+		ns := t.findSlot(k)
+		t.keys[ns] = k
+		t.listIdx[ns] = li
+	}
+}

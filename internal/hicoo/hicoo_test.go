@@ -1,0 +1,163 @@
+package hicoo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastcc/internal/coo"
+)
+
+func randomTensor(rng *rand.Rand, dims []uint64, nnz int) *coo.Tensor {
+	t := coo.New(dims, nnz)
+	coords := make([]uint64, len(dims))
+	for i := 0; i < nnz; i++ {
+		for m, d := range dims {
+			coords[m] = rng.Uint64() % d
+		}
+		t.Append(coords, float64(rng.Intn(9)+1))
+	}
+	return t
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomTensor(rng, []uint64{100, 37, 260}, 800)
+	h, err := FromCOO(a, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.Clone()
+	want.Dedup()
+	if h.NNZ() != want.NNZ() {
+		t.Fatalf("nnz %d want %d", h.NNZ(), want.NNZ())
+	}
+	back := h.ToCOO()
+	if !coo.Equal(want, back) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestBlockGrouping(t *testing.T) {
+	// Elements in the same 4x4 block must be contiguous and share BInds.
+	a := coo.New([]uint64{16, 16}, 6)
+	a.Append([]uint64{0, 0}, 1)
+	a.Append([]uint64{3, 3}, 2) // same block as (0,0) with B=4
+	a.Append([]uint64{4, 0}, 3) // block (1,0)
+	a.Append([]uint64{0, 4}, 4) // block (0,1)
+	a.Append([]uint64{15, 15}, 5)
+	a.Append([]uint64{1, 2}, 6) // block (0,0) again
+	h, err := FromCOO(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBlocks() != 4 {
+		t.Fatalf("blocks=%d want 4", h.NumBlocks())
+	}
+	// First block must be (0,0) with 3 elements.
+	if h.BInds[0][0] != 0 || h.BInds[1][0] != 0 {
+		t.Fatalf("first block (%d,%d)", h.BInds[0][0], h.BInds[1][0])
+	}
+	if h.BPtr[1]-h.BPtr[0] != 3 {
+		t.Fatalf("first block has %d elements", h.BPtr[1]-h.BPtr[0])
+	}
+	minB, maxB, mean := h.BlockDensityStats()
+	if minB != 1 || maxB != 3 || mean != 1.5 {
+		t.Fatalf("stats %d/%d/%g", minB, maxB, mean)
+	}
+}
+
+func TestIndexCompression(t *testing.T) {
+	// A clustered tensor (all nonzeros in a few blocks) must compress well.
+	a := coo.New([]uint64{1 << 16, 1 << 16}, 0)
+	coords := make([]uint64, 2)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		base := uint64(rng.Intn(4)) * 4096
+		coords[0] = base + uint64(rng.Intn(128))
+		coords[1] = base + uint64(rng.Intn(128))
+		a.Append(coords, 1)
+	}
+	h, err := FromCOO(a, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, cb := h.IndexBytes()
+	if hb*4 > cb {
+		t.Fatalf("HiCOO index %dB not <1/4 of COO %dB on clustered data", hb, cb)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	a := coo.New([]uint64{8, 8}, 0)
+	if _, err := FromCOO(a, 0); err == nil {
+		t.Fatal("block bits 0 accepted")
+	}
+	if _, err := FromCOO(a, 9); err == nil {
+		t.Fatal("block bits 9 accepted")
+	}
+	scalar := coo.New(nil, 0)
+	if _, err := FromCOO(scalar, 4); err == nil {
+		t.Fatal("order-0 accepted")
+	}
+	// Block grid exceeding uint32: dims 2^40 with block bits 1.
+	huge := coo.New([]uint64{1 << 40}, 0)
+	if _, err := FromCOO(huge, 1); err == nil {
+		t.Fatal("huge block grid accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := rng.Intn(4) + 1
+		dims := make([]uint64, order)
+		for m := range dims {
+			dims[m] = uint64(rng.Intn(60) + 1)
+		}
+		bits := uint(rng.Intn(MaxBlockBits) + 1)
+		a := randomTensor(rng, dims, rng.Intn(120))
+		h, err := FromCOO(a, bits)
+		if err != nil {
+			return false
+		}
+		want := a.Clone()
+		want.Dedup()
+		return coo.Equal(want, h.ToCOO())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicConversion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomTensor(rng, []uint64{64, 64, 64}, 300)
+	h1, err := FromCOO(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := FromCOO(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.NumBlocks() != h2.NumBlocks() || h1.NNZ() != h2.NNZ() {
+		t.Fatal("nondeterministic structure")
+	}
+	for i := range h1.Vals {
+		if h1.Vals[i] != h2.Vals[i] {
+			t.Fatal("nondeterministic element order")
+		}
+	}
+}
+
+func BenchmarkFromCOO100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomTensor(rng, []uint64{1 << 12, 1 << 10, 1 << 8}, 100_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromCOO(a, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

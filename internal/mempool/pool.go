@@ -1,0 +1,105 @@
+// Package mempool provides chunked, append-only arenas. FaSTCC threads push
+// output nonzeros into thread-local chunk lists and the coordinator later
+// concatenates those lists by reference, never copying element data — the
+// Go analogue of the paper's 512 MB-chunk memory-pool layer for COO output
+// construction (Section 4.2).
+package mempool
+
+// DefaultChunkLen is the number of elements per chunk when none is given.
+// The paper uses 512 MB chunks; we size in elements so the pool is type-
+// agnostic, and default to 64 Ki elements (1.5 MiB for a 24-byte triple) —
+// large enough to amortize allocation, small enough for laptop workloads.
+const DefaultChunkLen = 64 * 1024
+
+// Pool is a chunked append-only arena of T. The zero value is NOT ready to
+// use; call New. Pools are not safe for concurrent use: each worker owns one.
+type Pool[T any] struct {
+	chunkLen int
+	chunks   [][]T
+	n        int
+}
+
+// New returns a pool with the given chunk length (elements per allocation).
+// chunkLen <= 0 selects DefaultChunkLen.
+func New[T any](chunkLen int) *Pool[T] {
+	if chunkLen <= 0 {
+		chunkLen = DefaultChunkLen
+	}
+	return &Pool[T]{chunkLen: chunkLen}
+}
+
+// Append adds one element, allocating a new chunk when the tail is full.
+func (p *Pool[T]) Append(v T) {
+	if len(p.chunks) == 0 || len(p.chunks[len(p.chunks)-1]) == cap(p.chunks[len(p.chunks)-1]) {
+		p.chunks = append(p.chunks, make([]T, 0, p.chunkLen))
+	}
+	last := len(p.chunks) - 1
+	p.chunks[last] = append(p.chunks[last], v)
+	p.n++
+}
+
+// Len returns the number of elements appended.
+func (p *Pool[T]) Len() int { return p.n }
+
+// Chunks returns the underlying chunk slices. Callers must treat them as
+// read-only; they remain owned by the pool.
+func (p *Pool[T]) Chunks() [][]T { return p.chunks }
+
+// ForEach calls fn for every element in append order.
+func (p *Pool[T]) ForEach(fn func(T)) {
+	for _, c := range p.chunks {
+		for i := range c {
+			fn(c[i])
+		}
+	}
+}
+
+// Reset drops all elements but keeps the last chunk's storage for reuse.
+func (p *Pool[T]) Reset() {
+	if len(p.chunks) > 0 {
+		last := p.chunks[len(p.chunks)-1][:0]
+		p.chunks = p.chunks[:0]
+		p.chunks = append(p.chunks, last)
+	}
+	p.n = 0
+}
+
+// List concatenates pools by reference (pointer movement, no element
+// copies), in the order given — the paper's master-thread concatenation of
+// thread-local COO lists.
+type List[T any] struct {
+	chunks [][]T
+	n      int
+}
+
+// Concat builds a List from the pools' chunks without copying elements.
+func Concat[T any](pools ...*Pool[T]) *List[T] {
+	l := &List[T]{}
+	for _, p := range pools {
+		if p == nil {
+			continue
+		}
+		for _, c := range p.chunks {
+			if len(c) > 0 {
+				l.chunks = append(l.chunks, c)
+				l.n += len(c)
+			}
+		}
+	}
+	return l
+}
+
+// Len returns the total number of elements in the list.
+func (l *List[T]) Len() int { return l.n }
+
+// ForEach calls fn for every element.
+func (l *List[T]) ForEach(fn func(T)) {
+	for _, c := range l.chunks {
+		for i := range c {
+			fn(c[i])
+		}
+	}
+}
+
+// Chunks exposes the chunk slices (read-only).
+func (l *List[T]) Chunks() [][]T { return l.chunks }

@@ -1,0 +1,115 @@
+package mempool
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAcrossChunks(t *testing.T) {
+	p := New[int](4)
+	for i := 0; i < 11; i++ {
+		p.Append(i)
+	}
+	if p.Len() != 11 {
+		t.Fatalf("Len=%d", p.Len())
+	}
+	if got := len(p.Chunks()); got != 3 {
+		t.Fatalf("chunks=%d want 3", got)
+	}
+	i := 0
+	p.ForEach(func(v int) {
+		if v != i {
+			t.Fatalf("element %d = %d", i, v)
+		}
+		i++
+	})
+	if i != 11 {
+		t.Fatalf("visited %d", i)
+	}
+}
+
+func TestDefaultChunkLen(t *testing.T) {
+	p := New[byte](0)
+	p.Append(1)
+	if cap(p.Chunks()[0]) != DefaultChunkLen {
+		t.Fatalf("cap=%d", cap(p.Chunks()[0]))
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New[int](2)
+	for i := 0; i < 5; i++ {
+		p.Append(i)
+	}
+	p.Reset()
+	if p.Len() != 0 {
+		t.Fatalf("Len after reset = %d", p.Len())
+	}
+	p.Append(42)
+	if p.Len() != 1 {
+		t.Fatal("append after reset")
+	}
+	sum := 0
+	p.ForEach(func(v int) { sum += v })
+	if sum != 42 {
+		t.Fatalf("stale elements after reset, sum=%d", sum)
+	}
+}
+
+func TestConcatNoCopy(t *testing.T) {
+	a := New[int](2)
+	b := New[int](2)
+	for i := 0; i < 3; i++ {
+		a.Append(i)
+		b.Append(10 + i)
+	}
+	l := Concat(a, nil, b)
+	if l.Len() != 6 {
+		t.Fatalf("Len=%d", l.Len())
+	}
+	want := []int{0, 1, 2, 10, 11, 12}
+	i := 0
+	l.ForEach(func(v int) {
+		if v != want[i] {
+			t.Fatalf("element %d = %d want %d", i, v, want[i])
+		}
+		i++
+	})
+	// No copy: mutating the pool's chunk shows through the list.
+	a.Chunks()[0][0] = 99
+	found := false
+	l.ForEach(func(v int) { found = found || v == 99 })
+	if !found {
+		t.Fatal("Concat copied data; expected shared chunks")
+	}
+}
+
+func TestConcatSkipsEmpty(t *testing.T) {
+	a := New[int](2)
+	l := Concat(a)
+	if l.Len() != 0 || len(l.Chunks()) != 0 {
+		t.Fatalf("empty concat: %d/%d", l.Len(), len(l.Chunks()))
+	}
+}
+
+func TestPoolOrderProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		p := New[int16](3)
+		for _, v := range vals {
+			p.Append(v)
+		}
+		if p.Len() != len(vals) {
+			return false
+		}
+		i := 0
+		ok := true
+		p.ForEach(func(v int16) {
+			ok = ok && v == vals[i]
+			i++
+		})
+		return ok && i == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package metrics provides the instrumentation counters used to validate
+// the paper's loop-order analysis (Table 1) empirically: hash-table query
+// counts, retrieved data volume, accumulator update counts, and workspace
+// sizes. Counters are atomic so parallel kernels can share one Counters
+// value; a nil *Counters disables collection at negligible cost.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters aggregates data-access statistics for one contraction run.
+type Counters struct {
+	// Queries counts hash-table (or CSF fiber) lookups into the INPUT
+	// tensors — the "Queries" column of paper Table 1.
+	Queries atomic.Int64
+	// Volume counts input nonzero elements retrieved, including repeats —
+	// the "Data Volume" column of Table 1.
+	Volume atomic.Int64
+	// Updates counts accumulator upsert operations (multiply-accumulates);
+	// identical across loop orders for a given contraction.
+	Updates atomic.Int64
+	// WorkspaceWords records the maximum dense-equivalent workspace size in
+	// 8-byte words — the "Size_Acc" column of Table 1.
+	WorkspaceWords atomic.Int64
+	// Output counts nonzeros appended to the output COO list.
+	Output atomic.Int64
+}
+
+// AddQueries records n input-table queries. Safe on a nil receiver.
+func (c *Counters) AddQueries(n int64) {
+	if c != nil {
+		c.Queries.Add(n)
+	}
+}
+
+// AddVolume records n input nonzeros retrieved.
+func (c *Counters) AddVolume(n int64) {
+	if c != nil {
+		c.Volume.Add(n)
+	}
+}
+
+// AddUpdates records n accumulator updates.
+func (c *Counters) AddUpdates(n int64) {
+	if c != nil {
+		c.Updates.Add(n)
+	}
+}
+
+// MaxWorkspace raises the recorded workspace high-water mark to w words.
+func (c *Counters) MaxWorkspace(w int64) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.WorkspaceWords.Load()
+		if w <= cur || c.WorkspaceWords.CompareAndSwap(cur, w) {
+			return
+		}
+	}
+}
+
+// AddOutput records n output nonzeros.
+func (c *Counters) AddOutput(n int64) {
+	if c != nil {
+		c.Output.Add(n)
+	}
+}
+
+// Snapshot is a plain-value copy of the counters.
+type Snapshot struct {
+	Queries        int64
+	Volume         int64
+	Updates        int64
+	WorkspaceWords int64
+	Output         int64
+}
+
+// Snapshot returns the current counter values; zero-valued on nil receiver.
+func (c *Counters) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Queries:        c.Queries.Load(),
+		Volume:         c.Volume.Load(),
+		Updates:        c.Updates.Load(),
+		WorkspaceWords: c.WorkspaceWords.Load(),
+		Output:         c.Output.Load(),
+	}
+}
+
+// String renders the snapshot compactly for logs and experiment tables.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("queries=%d volume=%d updates=%d ws_words=%d out=%d",
+		s.Queries, s.Volume, s.Updates, s.WorkspaceWords, s.Output)
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilReceiverIsSafe(t *testing.T) {
+	var c *Counters
+	c.AddQueries(1)
+	c.AddVolume(2)
+	c.AddUpdates(3)
+	c.AddOutput(4)
+	c.MaxWorkspace(5)
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+func TestAccumulation(t *testing.T) {
+	var c Counters
+	c.AddQueries(3)
+	c.AddQueries(4)
+	c.AddVolume(10)
+	c.AddUpdates(1)
+	c.AddOutput(2)
+	s := c.Snapshot()
+	if s.Queries != 7 || s.Volume != 10 || s.Updates != 1 || s.Output != 2 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestMaxWorkspaceHighWater(t *testing.T) {
+	var c Counters
+	c.MaxWorkspace(100)
+	c.MaxWorkspace(50)
+	c.MaxWorkspace(200)
+	c.MaxWorkspace(150)
+	if got := c.Snapshot().WorkspaceWords; got != 200 {
+		t.Fatalf("high water = %d", got)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddQueries(1)
+				c.MaxWorkspace(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Queries != 8000 {
+		t.Fatalf("queries=%d", s.Queries)
+	}
+	if s.WorkspaceWords != 7999 {
+		t.Fatalf("ws high water=%d", s.WorkspaceWords)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{Queries: 1, Volume: 2, Updates: 3, WorkspaceWords: 4, Output: 5}
+	str := s.String()
+	for _, want := range []string{"queries=1", "volume=2", "updates=3", "ws_words=4", "out=5"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q missing %q", str, want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package radix implements a parallel least-significant-digit radix sort
+// on uint64 keys with a carried payload permutation. COO canonicalization
+// (Sort/Dedup) and CSF construction sort by linearized coordinates, which
+// on paper-scale tensors (tens of millions of nonzeros) dominates
+// preprocessing time; an LSD radix over the significant bytes is both
+// O(n·bytes) and parallel-friendly, unlike comparison sorting.
+//
+// The sort is stable (required: Dedup relies on equal keys staying
+// adjacent in input order so duplicate accumulation is deterministic).
+package radix
+
+import (
+	"math/bits"
+
+	"fastcc/internal/scheduler"
+)
+
+// digitBits is the radix width: 8 bits → 256 buckets per pass, the sweet
+// spot for L1-resident histograms.
+const digitBits = 8
+const buckets = 1 << digitBits
+
+// SortWithPerm stably sorts keys ascending and applies the identical
+// reordering to perm (typically the identity permutation of element
+// indices, which afterwards maps sorted position → original position).
+// len(perm) must equal len(keys). workers <= 0 uses GOMAXPROCS.
+func SortWithPerm(keys []uint64, perm []uint32, workers int) {
+	n := len(keys)
+	if n != len(perm) {
+		panic("radix: keys and perm length mismatch")
+	}
+	if n < 2 {
+		return
+	}
+	var maxKey uint64
+	for _, k := range keys {
+		maxKey |= k
+	}
+	passes := (bits.Len64(maxKey) + digitBits - 1) / digitBits
+	if passes == 0 {
+		return // all keys zero: already sorted
+	}
+
+	workers = scheduler.Workers(workers)
+	// Small inputs: parallel overhead exceeds the work.
+	if n < 1<<14 || workers == 1 {
+		sortSerial(keys, perm, passes)
+		return
+	}
+	sortParallel(keys, perm, passes, workers)
+}
+
+// Sort sorts keys ascending (no payload).
+func Sort(keys []uint64, workers int) {
+	perm := make([]uint32, len(keys))
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	SortWithPerm(keys, perm, workers)
+}
+
+func sortSerial(keys []uint64, perm []uint32, passes int) {
+	n := len(keys)
+	tmpK := make([]uint64, n)
+	tmpP := make([]uint32, n)
+	var hist [buckets]int
+	for p := 0; p < passes; p++ {
+		shift := uint(p * digitBits)
+		for i := range hist {
+			hist[i] = 0
+		}
+		for _, k := range keys {
+			hist[(k>>shift)&(buckets-1)]++
+		}
+		// Skip passes where every key shares the digit.
+		if hist[keys[0]>>shift&(buckets-1)] == n {
+			continue
+		}
+		sum := 0
+		for d := 0; d < buckets; d++ {
+			c := hist[d]
+			hist[d] = sum
+			sum += c
+		}
+		for i, k := range keys {
+			d := (k >> shift) & (buckets - 1)
+			pos := hist[d]
+			hist[d]++
+			tmpK[pos] = k
+			tmpP[pos] = perm[i]
+		}
+		copy(keys, tmpK)
+		copy(perm, tmpP)
+	}
+}
+
+// sortParallel runs each pass as: per-chunk histograms → global exclusive
+// prefix over (digit, chunk) → per-chunk stable scatter into reserved
+// ranges. Chunks are contiguous, so stability within a digit follows from
+// chunk order plus in-chunk order.
+func sortParallel(keys []uint64, perm []uint32, passes, workers int) {
+	n := len(keys)
+	tmpK := make([]uint64, n)
+	tmpP := make([]uint32, n)
+	hists := make([][buckets]int, workers)
+	chunk := (n + workers - 1) / workers
+
+	srcK, srcP := keys, perm
+	dstK, dstP := tmpK, tmpP
+	for p := 0; p < passes; p++ {
+		shift := uint(p * digitBits)
+		scheduler.Static(workers, func(w, _ int) {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			h := &hists[w]
+			for i := range h {
+				h[i] = 0
+			}
+			for _, k := range srcK[lo:min(hi, n)] {
+				h[(k>>shift)&(buckets-1)]++
+			}
+		})
+		// Exclusive prefix in (digit-major, chunk-minor) order.
+		sum := 0
+		for d := 0; d < buckets; d++ {
+			for w := 0; w < workers; w++ {
+				c := hists[w][d]
+				hists[w][d] = sum
+				sum += c
+			}
+		}
+		scheduler.Static(workers, func(w, _ int) {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			h := &hists[w]
+			for i := lo; i < hi && i < n; i++ {
+				k := srcK[i]
+				d := (k >> shift) & (buckets - 1)
+				pos := h[d]
+				h[d]++
+				dstK[pos] = k
+				dstP[pos] = srcP[i]
+			}
+		})
+		srcK, dstK = dstK, srcK
+		srcP, dstP = dstP, srcP
+	}
+	if &srcK[0] != &keys[0] {
+		copy(keys, srcK)
+		copy(perm, srcP)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

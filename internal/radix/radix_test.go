@@ -1,0 +1,158 @@
+package radix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func checkSorted(t *testing.T, keys []uint64) {
+	t.Helper()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatalf("not sorted at %d: %d > %d", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestSortSmall(t *testing.T) {
+	keys := []uint64{5, 1, 4, 1, 3}
+	perm := []uint32{0, 1, 2, 3, 4}
+	SortWithPerm(keys, perm, 1)
+	checkSorted(t, keys)
+	// Stability: the two 1s keep input order (indices 1 then 3).
+	if perm[0] != 1 || perm[1] != 3 {
+		t.Fatalf("not stable: perm=%v", perm)
+	}
+}
+
+func TestSortEdgeCases(t *testing.T) {
+	SortWithPerm(nil, nil, 0)                 // empty
+	SortWithPerm([]uint64{7}, []uint32{0}, 0) // single
+	keys := []uint64{0, 0, 0}                 // all zero
+	perm := []uint32{0, 1, 2}
+	SortWithPerm(keys, perm, 0)
+	if perm[0] != 0 || perm[2] != 2 {
+		t.Fatalf("all-zero keys reordered: %v", perm)
+	}
+}
+
+func TestSortPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	SortWithPerm([]uint64{1, 2}, []uint32{0}, 1)
+}
+
+func TestSortMatchesStdlibSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = rng.Uint64() >> uint(rng.Intn(60)) // varied magnitudes
+	}
+	want := append([]uint64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	Sort(keys, 1)
+	for i := range keys {
+		if keys[i] != want[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestSortParallelLargeMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 1 << 16 // above the parallel threshold
+	keys := make([]uint64, n)
+	perm := make([]uint32, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % (1 << 40)
+		perm[i] = uint32(i)
+	}
+	orig := append([]uint64(nil), keys...)
+	SortWithPerm(keys, perm, 4)
+	checkSorted(t, keys)
+	// perm maps sorted position → original index.
+	for i := range keys {
+		if orig[perm[i]] != keys[i] {
+			t.Fatalf("perm broken at %d", i)
+		}
+	}
+}
+
+func TestSortStabilityParallel(t *testing.T) {
+	// Many duplicate keys: payload order within a key must follow input.
+	n := 1 << 15
+	keys := make([]uint64, n)
+	perm := make([]uint32, n)
+	for i := range keys {
+		keys[i] = uint64(i % 7)
+		perm[i] = uint32(i)
+	}
+	SortWithPerm(keys, perm, 4)
+	for i := 1; i < n; i++ {
+		if keys[i] == keys[i-1] && perm[i] <= perm[i-1] {
+			t.Fatalf("instability at %d: key %d, perm %d after %d", i, keys[i], perm[i], perm[i-1])
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		perm := make([]uint32, len(keys))
+		for i := range perm {
+			perm[i] = uint32(i)
+		}
+		orig := append([]uint64(nil), keys...)
+		SortWithPerm(keys, perm, 2)
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] > keys[i] {
+				return false
+			}
+		}
+		for i := range keys {
+			if orig[perm[i]] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRadixSort1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	orig := make([]uint64, 1<<20)
+	for i := range orig {
+		orig[i] = rng.Uint64() % (1 << 48)
+	}
+	keys := make([]uint64, len(orig))
+	perm := make([]uint32, len(orig))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, orig)
+		for j := range perm {
+			perm[j] = uint32(j)
+		}
+		SortWithPerm(keys, perm, 0)
+	}
+}
+
+func BenchmarkStdlibSort1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	orig := make([]uint64, 1<<20)
+	for i := range orig {
+		orig[i] = rng.Uint64() % (1 << 48)
+	}
+	keys := make([]uint64, len(orig))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, orig)
+		sort.Slice(keys, func(x, y int) bool { return keys[x] < keys[y] })
+	}
+}

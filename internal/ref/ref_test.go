@@ -1,0 +1,80 @@
+package ref
+
+import (
+	"testing"
+
+	"fastcc/internal/coo"
+)
+
+func TestContractMatrixKnown(t *testing.T) {
+	l := &coo.Matrix{
+		Ext: []uint64{0, 1}, Ctr: []uint64{0, 0},
+		Val: []float64{2, 3}, ExtDim: 2, CtrDim: 1,
+	}
+	r := &coo.Matrix{
+		Ext: []uint64{0, 1}, Ctr: []uint64{0, 0},
+		Val: []float64{5, 7}, ExtDim: 2, CtrDim: 1,
+	}
+	got := ContractMatrix(l, r)
+	want := map[[2]uint64]float64{
+		{0, 0}: 10, {0, 1}: 14, {1, 0}: 15, {1, 1}: 21,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("got[%v]=%g want %g", k, got[k], v)
+		}
+	}
+}
+
+func TestContractMatrixDuplicates(t *testing.T) {
+	// Duplicate (ext, ctr) entries are independent contributions.
+	l := &coo.Matrix{
+		Ext: []uint64{0, 0}, Ctr: []uint64{0, 0},
+		Val: []float64{1, 1}, ExtDim: 1, CtrDim: 1,
+	}
+	r := &coo.Matrix{
+		Ext: []uint64{0}, Ctr: []uint64{0},
+		Val: []float64{3}, ExtDim: 1, CtrDim: 1,
+	}
+	got := ContractMatrix(l, r)
+	if got[[2]uint64{0, 0}] != 6 {
+		t.Fatalf("duplicates mishandled: %v", got)
+	}
+}
+
+func TestContractTensors(t *testing.T) {
+	l := coo.New([]uint64{2, 3}, 2)
+	l.Append([]uint64{0, 1}, 2)
+	l.Append([]uint64{1, 2}, 3)
+	r := coo.New([]uint64{3, 2}, 2)
+	r.Append([]uint64{1, 0}, 4)
+	r.Append([]uint64{2, 1}, 5)
+	out, err := Contract(l, r, coo.Spec{CtrLeft: []int{1}, CtrRight: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At([]uint64{0, 0}) != 8 || out.At([]uint64{1, 1}) != 15 {
+		t.Fatalf("reference contraction wrong: %v %v", out.Coords, out.Vals)
+	}
+	if !out.IsSorted() {
+		t.Fatal("reference output must be canonical")
+	}
+	if _, err := Contract(l, r, coo.Spec{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	tn := TriplesToMatrixTensor([]uint64{1}, []uint64{2}, []float64{3}, 4, 4)
+	if tn.At([]uint64{1, 2}) != 3 {
+		t.Fatal("TriplesToMatrixTensor wrong")
+	}
+	m := map[[2]uint64]float64{{0, 1}: 2, {3, 3}: 0}
+	tn2 := MapToMatrixTensor(m, 4, 4)
+	if tn2.NNZ() != 1 || tn2.At([]uint64{0, 1}) != 2 {
+		t.Fatal("MapToMatrixTensor should drop zeros")
+	}
+}

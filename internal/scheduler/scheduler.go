@@ -1,0 +1,109 @@
+// Package scheduler provides the two parallel skeletons FaSTCC needs
+// (paper Section 4.2):
+//
+//   - Teams: two worker teams running concurrently (the paper's nested
+//     OpenMP parallel regions where half the threads build HL and half
+//     build HR);
+//   - Pool: a dynamic task queue over an index range, the Go substitute for
+//     Taskflow — tasks are claimed with an atomic ticket so load imbalance
+//     between tile-tile contractions is absorbed at run time.
+package scheduler
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested thread count: n <= 0 selects GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Teams runs two functions concurrently, each with a team of workers. With
+// n total workers, team A gets ceil(n/2) and team B gets the rest (minimum
+// one each). Each worker invocation receives its worker id and team size;
+// Teams returns when all workers of both teams finish.
+func Teams(n int, teamA, teamB func(worker, teamSize int)) {
+	n = Workers(n)
+	sizeA := (n + 1) / 2
+	sizeB := n - sizeA
+	if sizeB == 0 {
+		sizeB = 1 // run teams sequentially-concurrent with one worker each
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < sizeA; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			teamA(w, sizeA)
+		}(w)
+	}
+	for w := 0; w < sizeB; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			teamB(w, sizeB)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Pool runs fn(worker, task) for every task in [0, tasks), claimed
+// dynamically by an atomic ticket counter across `workers` goroutines. Each
+// worker keeps its id for the task's lifetime, so fn can use worker-local
+// scratch state (accumulators, output pools). Returns when all tasks finish.
+func Pool(workers, tasks int, fn func(worker, task int)) {
+	workers = Workers(workers)
+	if tasks <= 0 {
+		return
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers == 1 {
+		for t := 0; t < tasks; t++ {
+			fn(0, t)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tasks {
+					return
+				}
+				fn(w, t)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Static runs fn(worker) on `workers` goroutines and waits; workers derive
+// their own index partitioning (used for the cyclic tile-ownership hash
+// build where worker w owns tiles i with i % workers == w).
+func Static(workers int, fn func(worker, workers int)) {
+	workers = Workers(workers)
+	if workers == 1 {
+		fn(0, 1)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w, workers)
+		}(w)
+	}
+	wg.Wait()
+}

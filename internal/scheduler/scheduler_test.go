@@ -1,0 +1,116 @@
+package scheduler
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Fatal("explicit count ignored")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("default count wrong")
+	}
+}
+
+func TestPoolCoversAllTasksOnce(t *testing.T) {
+	const tasks = 1000
+	var hits [tasks]atomic.Int32
+	Pool(8, tasks, func(_, task int) {
+		hits[task].Add(1)
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("task %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestPoolSingleWorkerSequential(t *testing.T) {
+	order := []int{}
+	Pool(1, 5, func(w, task int) {
+		if w != 0 {
+			t.Fatalf("worker %d in single-worker pool", w)
+		}
+		order = append(order, task)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single worker should be in order: %v", order)
+		}
+	}
+}
+
+func TestPoolZeroTasks(t *testing.T) {
+	ran := false
+	Pool(4, 0, func(_, _ int) { ran = true })
+	if ran {
+		t.Fatal("fn ran with zero tasks")
+	}
+}
+
+func TestPoolWorkerIDsBounded(t *testing.T) {
+	var bad atomic.Bool
+	Pool(3, 100, func(w, _ int) {
+		if w < 0 || w >= 3 {
+			bad.Store(true)
+		}
+	})
+	if bad.Load() {
+		t.Fatal("worker id out of range")
+	}
+}
+
+func TestTeamsBothRunAndSizesPartition(t *testing.T) {
+	var aRuns, bRuns atomic.Int32
+	var aSize, bSize atomic.Int32
+	Teams(5, func(w, size int) {
+		aRuns.Add(1)
+		aSize.Store(int32(size))
+		if w < 0 || w >= size {
+			t.Errorf("team A worker %d of %d", w, size)
+		}
+	}, func(w, size int) {
+		bRuns.Add(1)
+		bSize.Store(int32(size))
+	})
+	if aSize.Load() != 3 || bSize.Load() != 2 {
+		t.Fatalf("team sizes %d/%d want 3/2", aSize.Load(), bSize.Load())
+	}
+	if aRuns.Load() != 3 || bRuns.Load() != 2 {
+		t.Fatalf("team runs %d/%d", aRuns.Load(), bRuns.Load())
+	}
+}
+
+func TestTeamsSingleWorker(t *testing.T) {
+	var a, b atomic.Int32
+	Teams(1, func(_, size int) { a.Store(int32(size)) }, func(_, size int) { b.Store(int32(size)) })
+	if a.Load() != 1 || b.Load() != 1 {
+		t.Fatalf("teams with one worker: %d/%d", a.Load(), b.Load())
+	}
+}
+
+func TestStaticPartition(t *testing.T) {
+	const n = 100
+	var owner [n]atomic.Int32
+	for i := range owner {
+		owner[i].Store(-1)
+	}
+	Static(4, func(w, workers int) {
+		if workers != 4 {
+			t.Errorf("workers=%d", workers)
+		}
+		for i := w; i < n; i += workers {
+			if !owner[i].CompareAndSwap(-1, int32(w)) {
+				t.Errorf("tile %d claimed twice", i)
+			}
+		}
+	})
+	for i := range owner {
+		if owner[i].Load() != int32(i%4) {
+			t.Fatalf("tile %d owned by %d", i, owner[i].Load())
+		}
+	}
+}

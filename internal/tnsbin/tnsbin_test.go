@@ -1,0 +1,171 @@
+package tnsbin
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fastcc/internal/coo"
+)
+
+func randomTensor(rng *rand.Rand, dims []uint64, nnz int) *coo.Tensor {
+	t := coo.New(dims, nnz)
+	coords := make([]uint64, len(dims))
+	for i := 0; i < nnz; i++ {
+		for m, d := range dims {
+			coords[m] = rng.Uint64() % d
+		}
+		t.Append(coords, rng.NormFloat64())
+	}
+	return t
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomTensor(rng, []uint64{40, 7, 19}, 500)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.Clone()
+	want.Dedup()
+	if !coo.Equal(want, b) {
+		t.Fatal("round trip mismatch")
+	}
+	if !b.IsSorted() {
+		t.Fatal("BTNS must decode sorted")
+	}
+}
+
+func TestRoundTripEmptyAndScalarish(t *testing.T) {
+	empty := coo.New([]uint64{5, 5}, 0)
+	var buf bytes.Buffer
+	if err := Write(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 0 || got.Order() != 2 {
+		t.Fatalf("empty round trip: %v", got)
+	}
+	// First key at coordinate zero (delta encoding edge).
+	one := coo.New([]uint64{3}, 1)
+	one.Append([]uint64{0}, -2.5)
+	buf.Reset()
+	if err := Write(&buf, one); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At([]uint64{0}) != -2.5 {
+		t.Fatal("zero-coordinate element lost")
+	}
+}
+
+func TestWriteRejectsHugeIndexSpace(t *testing.T) {
+	huge := coo.New([]uint64{1 << 40, 1 << 40}, 0)
+	if err := Write(&bytes.Buffer{}, huge); err == nil {
+		t.Fatal("overflowing dims accepted")
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomTensor(rng, []uint64{20, 20}, 50)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flip one payload byte: checksum must catch it.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := Read(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted payload: err=%v", err)
+	}
+	// Truncate: must error, not panic.
+	for _, cut := range []int{0, 3, 7, len(good) / 2, len(good) - 1} {
+		if _, err := Read(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Bad magic.
+	bad2 := append([]byte(nil), good...)
+	bad2[0] = 'X'
+	if _, err := Read(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestFormatIsCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomTensor(rng, []uint64{500, 400, 30}, 5000)
+	a.Dedup()
+	var bin, txt bytes.Buffer
+	if err := Write(&bin, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := coo.WriteTNS(&txt, a); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Fatalf("BTNS (%d B) not smaller than .tns (%d B)", bin.Len(), txt.Len())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := rng.Intn(4) + 1
+		dims := make([]uint64, order)
+		for m := range dims {
+			dims[m] = uint64(rng.Intn(12) + 1)
+		}
+		a := randomTensor(rng, dims, rng.Intn(80))
+		var buf bytes.Buffer
+		if err := Write(&buf, a); err != nil {
+			return false
+		}
+		b, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		want := a.Clone()
+		want.Dedup()
+		return coo.Equal(want, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzRead(f *testing.F) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomTensor(rng, []uint64{9, 9}, 20)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("BTNS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tn, err := Read(bytes.NewReader(data)) // must never panic
+		if err == nil {
+			if verr := tn.Validate(); verr != nil {
+				t.Fatalf("accepted invalid tensor: %v", verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,15 @@
+package fastcc
+
+import "fastcc/internal/coo"
+
+// Tensor-algebra conveniences re-exported from the COO layer. The Tensor
+// alias already carries methods Sort, Dedup, DropZeros, Permute, Scale,
+// SliceMode, Norm2 and ModeHistogram; the free functions below operate on
+// pairs.
+
+// Add returns a + b elementwise (identical dims required); the result is
+// canonicalized and exact cancellations are dropped.
+func Add(a, b *Tensor) (*Tensor, error) { return coo.Add(a, b) }
+
+// Axpy returns alpha·x + y without mutating the operands.
+func Axpy(alpha float64, x, y *Tensor) (*Tensor, error) { return coo.Axpy(alpha, x, y) }

@@ -1,0 +1,132 @@
+package fastcc
+
+import (
+	"fmt"
+	"math"
+
+	"fastcc/internal/coo"
+	"fastcc/internal/gen"
+)
+
+// VerifySample spot-checks a contraction result without recomputing it in
+// full: it recomputes up to samples output elements by direct summation
+// over the contraction index — a mix of nonzeros drawn from out and
+// random output coordinates (which must be ≈ zero in out) — and reports
+// the first discrepancy beyond tol (absolute-or-relative per element).
+//
+// Cost is O(samples · (nnzL + nnzR)/C) expected, versus O(updates) for a
+// full recomputation, so it is usable as a production sanity check after
+// large contractions.
+func VerifySample(l, r *Tensor, spec Spec, out *Tensor, samples int, seed uint64, tol float64) error {
+	if err := spec.Validate(l, r); err != nil {
+		return err
+	}
+	extL := coo.ExternalModes(l.Order(), spec.CtrLeft)
+	extR := coo.ExternalModes(r.Order(), spec.CtrRight)
+	lm, err := l.Matrixize(extL, spec.CtrLeft)
+	if err != nil {
+		return err
+	}
+	rm, err := r.Matrixize(extR, spec.CtrRight)
+	if err != nil {
+		return err
+	}
+	om, err := out.Matrixize(seqModes(len(extL)), seqModesFrom(len(extL), len(extR)))
+	if err != nil {
+		return err
+	}
+	// For sampling we need O(1) access to out[l,r]; index it once.
+	outVals := make(map[[2]uint64]float64, om.NNZ())
+	for i := range om.Val {
+		outVals[[2]uint64{om.Ext[i], om.Ctr[i]}] += om.Val[i]
+	}
+	// Group both operands by contraction index once: recomputing one
+	// output element is then a merge over the relevant slices.
+	lByC := groupByCtr(lm)
+	rByC := groupByCtr(rm)
+
+	rng := gen.NewRNG(seed)
+	check := func(le, re uint64) error {
+		want := 0.0
+		for c, ls := range lByC {
+			rs, ok := rByC[c]
+			if !ok {
+				continue
+			}
+			var lv, rv float64
+			var hitL, hitR bool
+			for _, p := range ls {
+				if p.ext == le {
+					lv += p.val
+					hitL = true
+				}
+			}
+			if !hitL {
+				continue
+			}
+			for _, p := range rs {
+				if p.ext == re {
+					rv += p.val
+					hitR = true
+				}
+			}
+			if hitR {
+				want += lv * rv
+			}
+		}
+		got := outVals[[2]uint64{le, re}]
+		diff := math.Abs(got - want)
+		scale := math.Max(math.Abs(got), math.Abs(want))
+		if diff > tol && diff > tol*scale {
+			return fmt.Errorf("fastcc: verification failed at linearized output (%d,%d): have %g, recomputed %g", le, re, got, want)
+		}
+		return nil
+	}
+
+	n := samples
+	if n <= 0 {
+		n = 32
+	}
+	// Half the budget on stored nonzeros, half on random coordinates.
+	for i := 0; i < n/2 && om.NNZ() > 0; i++ {
+		j := int(rng.Uint64n(uint64(om.NNZ())))
+		if err := check(om.Ext[j], om.Ctr[j]); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < n-n/2; i++ {
+		if err := check(rng.Uint64n(lm.ExtDim), rng.Uint64n(rm.ExtDim)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type extVal struct {
+	ext uint64
+	val float64
+}
+
+func groupByCtr(m *coo.Matrix) map[uint64][]extVal {
+	g := make(map[uint64][]extVal)
+	for i := range m.Val {
+		g[m.Ctr[i]] = append(g[m.Ctr[i]], extVal{m.Ext[i], m.Val[i]})
+	}
+	return g
+}
+
+func seqModes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func seqModesFrom(start, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}

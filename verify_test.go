@@ -1,0 +1,119 @@
+package fastcc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVerifySamplePasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	l := randomTensor(rng, []uint64{8, 9, 6}, 80)
+	r := randomTensor(rng, []uint64{6, 7}, 40)
+	spec := Spec{CtrLeft: []int{2}, CtrRight: []int{0}}
+	out, _, err := Contract(l, r, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySample(l, r, spec, out, 64, 1, 1e-9); err != nil {
+		t.Fatalf("correct result rejected: %v", err)
+	}
+}
+
+func TestVerifySampleCatchesCorruptValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	l := randomTensor(rng, []uint64{10, 6}, 40)
+	r := randomTensor(rng, []uint64{6, 10}, 40)
+	spec := Spec{CtrLeft: []int{1}, CtrRight: []int{0}}
+	out, _, err := Contract(l, r, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NNZ() == 0 {
+		t.Skip("empty output")
+	}
+	out.Vals[0] += 42 // corrupt one element
+	// Sampling half the budget from stored nonzeros: with enough samples
+	// the corrupted element is hit with overwhelming probability.
+	if err := VerifySample(l, r, spec, out, 4*out.NNZ(), 2, 1e-9); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestVerifySampleCatchesSpuriousNonzero(t *testing.T) {
+	l := NewTensor([]uint64{4, 4}, 1)
+	l.Append([]uint64{0, 0}, 1)
+	r := NewTensor([]uint64{4, 4}, 1)
+	r.Append([]uint64{0, 0}, 1)
+	spec := Spec{CtrLeft: []int{1}, CtrRight: []int{0}}
+	out, _, err := Contract(l, r, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Append([]uint64{3, 3}, 7) // spurious
+	if err := VerifySample(l, r, spec, out, 512, 3, 1e-9); err == nil {
+		t.Fatal("spurious nonzero not detected")
+	}
+}
+
+func TestVerifySampleBadSpec(t *testing.T) {
+	a := NewTensor([]uint64{4}, 0)
+	if err := VerifySample(a, a, Spec{}, a, 8, 1, 1e-9); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// Algebraic property tests for the contraction engine.
+
+func TestContractDistributesOverAdd(t *testing.T) {
+	// (A + B)·R == A·R + B·R
+	rng := rand.New(rand.NewSource(19))
+	a := randomTensor(rng, []uint64{7, 5}, 20)
+	b := randomTensor(rng, []uint64{7, 5}, 20)
+	r := randomTensor(rng, []uint64{5, 6}, 20)
+	spec := Spec{CtrLeft: []int{1}, CtrRight: []int{0}}
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs, _, err := Contract(sum, r, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, _, err := Contract(a, r, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, _, err := Contract(b, r, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs, err := Add(ar, br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ApproxEqual(lhs, rhs, 1e-9) {
+		t.Fatal("distributivity violated")
+	}
+}
+
+func TestContractScalarPullOut(t *testing.T) {
+	// (αA)·R == α(A·R)
+	rng := rand.New(rand.NewSource(20))
+	a := randomTensor(rng, []uint64{6, 4}, 15)
+	r := randomTensor(rng, []uint64{4, 6}, 15)
+	spec := Spec{CtrLeft: []int{1}, CtrRight: []int{0}}
+	scaled := a.Clone()
+	scaled.Scale(3)
+	lhs, _, err := Contract(scaled, r, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, _, err := Contract(a, r, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar.Scale(3)
+	if !ApproxEqual(lhs, ar, 1e-9) {
+		t.Fatal("scalar pull-out violated")
+	}
+}
