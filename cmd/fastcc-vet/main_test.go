@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fastcc/tools/analysis/framework"
+)
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
+	}
+	for _, a := range All {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %q", a.Name)
+		}
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-c", "nosuch", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-c nosuch) = %d, want 2", code)
+	}
+}
+
+// TestRepoIsClean is the suite's own acceptance gate: the multichecker must
+// exit 0 over the entire module. A regression that reintroduces a finding
+// (or an analyzer change that false-positives on existing code) fails here.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list -export over the whole module")
+	}
+	root, err := framework.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", root, "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Errorf("fastcc-vet ./... = exit %d, want 0\nfindings:\n%s%s", code, out.String(), errOut.String())
+	}
+}

@@ -1,0 +1,109 @@
+// Package errdiscard flags statements that silently discard the error
+// result of resource-finalizing calls: Close, Flush, Sync, Write and
+// WriteString as bare expression statements.
+//
+// For FaSTCC the write path is the dangerous one: tnsgen and fastcc write
+// multi-gigabyte .tns/.btns outputs through buffered and gzip writers, where
+// the data loss only surfaces in the final Close/Flush error. A bare
+// `w.Close()` statement throws that signal away.
+//
+// The analyzer is deliberately narrow and mechanical:
+//
+//   - only expression statements are flagged — `_ = f.Close()` expresses an
+//     intentional discard (read-only file, error path) and passes;
+//   - `defer f.Close()` passes: deferring a close on a read path is
+//     idiomatic, and write paths in this repo return f.Close() explicitly
+//     (see SaveTNS);
+//   - only methods with the five finalizer names whose last result is error
+//     are considered, so sinks like sync.Mutex.Unlock never match;
+//   - strings.Builder and bytes.Buffer are exempt: their Write methods are
+//     documented to always return a nil error.
+package errdiscard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fastcc/tools/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "errdiscard",
+	Doc:  "flags discarded error results of Close/Flush/Sync/Write/WriteString calls",
+	Run:  run,
+}
+
+var finalizers = map[string]bool{
+	"Close":       true,
+	"Flush":       true,
+	"Sync":        true,
+	"Write":       true,
+	"WriteString": true,
+}
+
+func run(pass *framework.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !finalizers[sel.Sel.Name] {
+			return
+		}
+		fn := framework.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || !returnsError(fn) || exemptRecv(fn) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"error result of %s.%s is discarded; handle it or assign to _ to make the discard explicit",
+			recvTypeName(fn), sel.Sel.Name)
+	})
+	return nil
+}
+
+// returnsError reports whether the function's last result is the builtin
+// error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// exemptRecv reports receivers documented to never return write errors.
+func exemptRecv(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	return framework.IsNamedType(t, "strings", "Builder") ||
+		framework.IsNamedType(t, "bytes", "Buffer")
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name()
+		}
+		return t.String()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name()
+	}
+	return "?"
+}

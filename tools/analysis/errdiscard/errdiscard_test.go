@@ -1,0 +1,12 @@
+package errdiscard_test
+
+import (
+	"testing"
+
+	"fastcc/tools/analysis/analysistest"
+	"fastcc/tools/analysis/errdiscard"
+)
+
+func TestErrDiscard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errdiscard.Analyzer, "a")
+}

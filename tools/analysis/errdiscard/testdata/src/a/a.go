@@ -1,0 +1,34 @@
+// Fixture for errdiscard: finalizer calls with discarded errors. The types
+// are fixture-local so the fixture needs no imports.
+package a
+
+type sink struct{}
+
+func (sink) Close() error                 { return nil }
+func (sink) Flush() error                 { return nil }
+func (sink) Sync() error                  { return nil }
+func (sink) Write(p []byte) (int, error)  { return len(p), nil }
+func (sink) WriteString(s string) (int, error) { return len(s), nil }
+func (sink) Unlock()                      {}
+
+func bad(s sink) {
+	s.Close()         // want `error result of sink.Close is discarded`
+	s.Flush()         // want `error result of sink.Flush is discarded`
+	s.Sync()          // want `error result of sink.Sync is discarded`
+	s.Write(nil)      // want `error result of sink.Write is discarded`
+	s.WriteString("") // want `error result of sink.WriteString is discarded`
+}
+
+func good(s sink) error {
+	_ = s.Close()   // explicit discard: fine
+	defer s.Close() // deferred close: fine
+	s.Unlock()      // no error result: fine
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+func allowed(s sink) {
+	s.Close() //fastcc:allow errdiscard -- error path, best effort
+}

@@ -1,0 +1,157 @@
+// Package hotalloc flags allocation sites inside functions annotated with a
+// //fastcc:hotpath doc-comment marker.
+//
+// FaSTCC's tile kernels (hash-table upserts, accumulator drains, the
+// multiply-accumulate loops of Algorithm 6) execute per nonzero or per
+// update — millions to billions of times per contraction. A single heap
+// allocation introduced there turns into GC pressure that dwarfs the
+// arithmetic. Functions on that path carry the marker:
+//
+//	// Upsert adds v at (l, r).
+//	//
+//	//fastcc:hotpath
+//	func (d *Dense) Upsert(l, r uint32, v float64) { ... }
+//
+// Inside marked functions the analyzer reports:
+//
+//   - make / new builtin calls;
+//   - append calls (growth may allocate);
+//   - slice and map composite literals;
+//   - function literals that capture enclosing variables (closure + captured
+//     variables are heap-allocated);
+//   - string <-> []byte / []rune conversions (always copy).
+//
+// Deliberate amortized allocations (table doubling, arena chunk growth) stay
+// allowed via //fastcc:allow hotalloc with a stated reason; the annotation
+// then documents the amortization argument right at the allocation site.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fastcc/tools/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags heap allocations inside //fastcc:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !framework.FuncHasMarker(fn, "hotpath") {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *framework.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case framework.IsBuiltin(pass.TypesInfo, n, "make"):
+				pass.Reportf(n.Pos(), "make in hotpath function %s allocates", fn.Name.Name)
+			case framework.IsBuiltin(pass.TypesInfo, n, "new"):
+				pass.Reportf(n.Pos(), "new in hotpath function %s allocates", fn.Name.Name)
+			case framework.IsBuiltin(pass.TypesInfo, n, "append"):
+				pass.Reportf(n.Pos(), "append in hotpath function %s may grow and allocate", fn.Name.Name)
+			default:
+				if name, ok := copyingConversion(pass.TypesInfo, n); ok {
+					pass.Reportf(n.Pos(), "%s conversion in hotpath function %s copies and allocates", name, fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "composite literal in hotpath function %s allocates", fn.Name.Name)
+				}
+			}
+		case *ast.FuncLit:
+			if captured := capturedVar(pass.TypesInfo, n); captured != "" {
+				pass.Reportf(n.Pos(), "closure in hotpath function %s captures %q and allocates", fn.Name.Name, captured)
+			}
+			return false // do not double-report allocations inside the literal
+		}
+		return true
+	})
+}
+
+// copyingConversion reports conversions between string and []byte/[]rune.
+func copyingConversion(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return "", false
+	}
+	dst := tv.Type.Underlying()
+	src := info.TypeOf(call.Args[0])
+	if src == nil {
+		return "", false
+	}
+	srcU := src.Underlying()
+	if isString(dst) && isByteOrRuneSlice(srcU) {
+		return "slice-to-string", true
+	}
+	if isByteOrRuneSlice(dst) && isString(srcU) {
+		return "string-to-slice", true
+	}
+	return "", false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// capturedVar returns the name of one variable the function literal captures
+// from an enclosing function scope, or "" when it captures nothing (a
+// capture-free literal compiles to a static function and does not allocate
+// per call).
+func capturedVar(info *types.Info, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captured; variables declared
+		// inside the literal itself (including its parameters) are not
+		// captures either.
+		if v.Parent() == nil || v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		captured = v.Name()
+		return false
+	})
+	return captured
+}

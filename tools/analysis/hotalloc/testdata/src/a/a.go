@@ -1,0 +1,45 @@
+// Fixture for hotalloc: allocation sites in marked and unmarked functions.
+package a
+
+// plain is unmarked; it may allocate freely.
+func plain(n int) []int {
+	return make([]int, n)
+}
+
+// hot is a seeded-bad kernel.
+//
+//fastcc:hotpath
+func hot(buf []int, bs []byte, v int) []int {
+	tmp := make([]int, 8) // want `make in hotpath function hot allocates`
+	_ = tmp
+	buf = append(buf, v) // want `append in hotpath function hot`
+	m := map[int]int{}   // want `composite literal in hotpath function hot`
+	_ = m
+	p := new(int) // want `new in hotpath function hot`
+	_ = p
+	f := func() int { return v } // want `closure in hotpath function hot captures "v"`
+	_ = f
+	s := string(bs) // want `slice-to-string conversion in hotpath function hot`
+	_ = s
+	return buf
+}
+
+// hotClean allocates nothing: indexing, arithmetic, and a capture-free
+// function literal are all fine.
+//
+//fastcc:hotpath
+func hotClean(buf []int) int {
+	s := 0
+	for _, v := range buf {
+		s += v
+	}
+	g := func(x int) int { return x * 2 }
+	return g(s)
+}
+
+// hotAmortized documents a deliberate amortized growth.
+//
+//fastcc:hotpath
+func hotAmortized(buf []byte) []byte {
+	return append(buf, 1) //fastcc:allow hotalloc -- amortized doubling, reused across tasks
+}

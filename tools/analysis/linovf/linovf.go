@@ -1,0 +1,124 @@
+// Package linovf flags raw multiplications of tensor-dimension quantities.
+//
+// FaSTCC linearizes multi-mode coordinates into single indices (paper
+// Algorithms 5/6): the output space is L × R where L and R are products of
+// mode extents. Those products overflow int64/uint64 silently once mode
+// extents grow — which is exactly why internal/coo/linearize.go routes every
+// extent product through math/bits.Mul64 with an overflow check (Strides,
+// LinearSize). This analyzer enforces that discipline: any integer `a * b`
+// or `a *= b` where an operand is named like a dimension (dim, extent,
+// shape, stride) is reported unless the line carries a
+// //fastcc:allow linovf justification.
+//
+// The fix is one of:
+//   - coo.LinearSize / coo.Strides for products of mode extents;
+//   - math/bits.Mul64 with an explicit hi != 0 check;
+//   - a //fastcc:allow linovf comment stating why overflow is impossible
+//     (e.g. the operands were already validated by Strides).
+package linovf
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"fastcc/tools/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "linovf",
+	Doc:  "flags unchecked integer products of tensor dimensions (index-linearization overflow)",
+	Run:  run,
+}
+
+// dimNameRe matches identifiers that name dimension-like quantities. The
+// list is deliberately narrow — tile sides (tl/tr) and loop bounds are
+// excluded — so a hit almost always really is a mode-extent product.
+var dimNameRe = regexp.MustCompile(`(?i)(dim|extent|shape|stride)`)
+
+func run(pass *framework.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.MUL {
+				return
+			}
+			if !isInteger(pass.TypesInfo, n.X) || !isInteger(pass.TypesInfo, n.Y) {
+				return
+			}
+			if name := dimOperand(n.X); name != "" {
+				report(pass, n.Pos(), name)
+			} else if name := dimOperand(n.Y); name != "" {
+				report(pass, n.Pos(), name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.MUL_ASSIGN || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return
+			}
+			if !isInteger(pass.TypesInfo, n.Lhs[0]) {
+				return
+			}
+			if name := dimOperand(n.Lhs[0]); name != "" {
+				report(pass, n.Pos(), name)
+			} else if name := dimOperand(n.Rhs[0]); name != "" {
+				report(pass, n.Pos(), name)
+			}
+		}
+	})
+	return nil
+}
+
+func report(pass *framework.Pass, pos token.Pos, name string) {
+	pass.Reportf(pos,
+		"unchecked integer product involving dimension-like operand %q may overflow; use coo.LinearSize/coo.Strides or bits.Mul64 with a check (or annotate //fastcc:allow linovf with a reason)",
+		name)
+}
+
+// isInteger reports whether the expression's type is an integer kind;
+// float-domain dimension math (model heuristics) saturates instead of
+// wrapping and is not this analyzer's business.
+func isInteger(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// dimOperand descends through parens, conversions, unary ops, index
+// expressions and nested products to find a dimension-named identifier; it
+// returns the offending name, or "".
+func dimOperand(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return dimOperand(e.X)
+	case *ast.UnaryExpr:
+		return dimOperand(e.X)
+	case *ast.Ident:
+		if dimNameRe.MatchString(e.Name) {
+			return e.Name
+		}
+	case *ast.SelectorExpr:
+		if dimNameRe.MatchString(e.Sel.Name) {
+			return e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		return dimOperand(e.X)
+	case *ast.BinaryExpr:
+		if name := dimOperand(e.X); name != "" {
+			return name
+		}
+		return dimOperand(e.Y)
+	case *ast.CallExpr:
+		// Conversions like uint64(d) keep the dimension flavor; real calls
+		// (len, t.NNZ()) do not. A single-argument call whose operand is
+		// dimension-named is treated as a conversion-or-accessor and
+		// inspected; multi-argument calls are opaque.
+		if len(e.Args) == 1 {
+			return dimOperand(e.Args[0])
+		}
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package linovf_test
+
+import (
+	"testing"
+
+	"fastcc/tools/analysis/analysistest"
+	"fastcc/tools/analysis/linovf"
+)
+
+func TestLinOvf(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), linovf.Analyzer, "a")
+}

@@ -1,0 +1,45 @@
+// Fixture for linovf: dimension products in the style of the linearized
+// L x R output index math of Algorithms 5/6.
+package a
+
+import "math/bits"
+
+func raw(lDim, rDim uint64) uint64 {
+	return lDim * rDim // want `dimension-like operand "lDim"`
+}
+
+func viaIndex(shape []uint64) uint64 {
+	return shape[0] * shape[1] // want `dimension-like operand "shape"`
+}
+
+func viaStride(stride, c uint64) uint64 {
+	return stride * c // want `dimension-like operand "stride"`
+}
+
+func compound(total uint64, dims []uint64) uint64 {
+	for i := range dims {
+		total *= dims[i] // want `dimension-like operand "dims"`
+	}
+	return total
+}
+
+func converted(lDim, rDim uint64) int64 {
+	return int64(lDim) * int64(rDim) // want `dimension-like operand "lDim"`
+}
+
+func floatDomain(lDim, rDim uint64) float64 {
+	return float64(lDim) * float64(rDim) // float math saturates: fine
+}
+
+func checked(lDim, rDim uint64) (uint64, bool) {
+	hi, lo := bits.Mul64(lDim, rDim) // the blessed pattern: fine
+	return lo, hi == 0
+}
+
+func unrelated(i, j int) int {
+	return i * j // no dimension flavor: fine
+}
+
+func allowed(lDim, rDim uint64) uint64 {
+	return lDim * rDim //fastcc:allow linovf -- extents validated by Strides upstream
+}

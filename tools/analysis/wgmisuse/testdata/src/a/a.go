@@ -1,0 +1,43 @@
+// Fixture for wgmisuse: fork/join skeletons in the style of
+// internal/scheduler, with the two seeded bugs.
+package a
+
+import "sync"
+
+func addInsideGoroutine(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want `Add on "wg" inside the spawned goroutine`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func correctForkJoin(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func waitWithoutAdd() {
+	var wg sync.WaitGroup
+	wg.Wait() // want `"wg" is waited on but never Add-ed in waitWithoutAdd`
+}
+
+func escapesToHelper(spawn func(*sync.WaitGroup)) {
+	var wg sync.WaitGroup
+	spawn(&wg) // the helper may Add; not our business
+	wg.Wait()
+}
+
+func allowedWait() {
+	var wg sync.WaitGroup
+	wg.Wait() //fastcc:allow wgmisuse -- intentionally trivial in this test
+}

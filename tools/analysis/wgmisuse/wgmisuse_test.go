@@ -1,0 +1,12 @@
+package wgmisuse_test
+
+import (
+	"testing"
+
+	"fastcc/tools/analysis/analysistest"
+	"fastcc/tools/analysis/wgmisuse"
+)
+
+func TestWgMisuse(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wgmisuse.Analyzer, "a")
+}
