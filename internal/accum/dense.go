@@ -46,12 +46,14 @@ func NewDense(tl, tr uint32) *Dense {
 
 // Upsert adds v at (l, r): test-and-set bm[p]; append p to apos when newly
 // set; accumulate into vals[p].
+//
+//fastcc:hotpath
 func (d *Dense) Upsert(l, r uint32, v float64) {
 	p := l<<d.logTR | r
 	w, b := p>>6, uint64(1)<<(p&63)
 	if d.bm[w]&b == 0 {
 		d.bm[w] |= b
-		d.apos = append(d.apos, p)
+		d.apos = append(d.apos, p) //fastcc:allow hotalloc -- amortized: apos tops out at tile nnz and is reused across tasks
 	}
 	d.vals[p] += v
 }
@@ -61,6 +63,8 @@ func (d *Dense) Len() int { return len(d.apos) }
 
 // Drain visits active positions via apos (nnz-proportional, per Section
 // 4.2's "parallel drain"), then resets the touched state in the same pass.
+//
+//fastcc:hotpath
 func (d *Dense) Drain(fn func(l, r uint32, v float64)) {
 	for _, p := range d.apos {
 		fn(p>>d.logTR, p&d.maskR, d.vals[p])

@@ -18,6 +18,8 @@ func NewSparse(hint int) *Sparse {
 func packLR(l, r uint32) uint64 { return uint64(l)<<32 | uint64(r) }
 
 // Upsert adds v at (l, r).
+//
+//fastcc:hotpath
 func (s *Sparse) Upsert(l, r uint32, v float64) {
 	s.t.Upsert(packLR(l, r), v)
 }
@@ -53,6 +55,8 @@ func NewSparseRobin(hint int) *SparseRobin {
 }
 
 // Upsert adds v at (l, r).
+//
+//fastcc:hotpath
 func (s *SparseRobin) Upsert(l, r uint32, v float64) {
 	s.t.Upsert(packLR(l, r), v)
 }

@@ -27,20 +27,20 @@ func UntiledCO(l, r *coo.Matrix, ctr *metrics.Counters) (*Result, error) {
 	hr := buildByCtr(r)
 
 	res := &Result{}
-	hi, _ := bits.Mul64(l.ExtDim, r.ExtDim)
+	hi, lo := bits.Mul64(l.ExtDim, r.ExtDim)
 	if hi == 0 {
 		// (l, r) packs into a uint64 key: use the open-addressing table.
 		ws := hashtable.NewFloatTable(1024)
 		rDim := r.ExtDim
 		coIterate(hl, hr, ctr, func(li, ri uint64, v float64) {
-			ws.Upsert(li*rDim+ri, v)
+			ws.Upsert(li*rDim+ri, v) //fastcc:allow linovf -- hi == 0 above proves L*R fits uint64
 		})
 		ws.ForEach(func(k uint64, v float64) {
 			res.L = append(res.L, k/rDim)
 			res.R = append(res.R, k%rDim)
 			res.V = append(res.V, v)
 		})
-		ctr.MaxWorkspace(int64(min64(l.ExtDim*r.ExtDim, 1<<62)))
+		ctr.MaxWorkspace(int64(min64(lo, 1<<62)))
 	} else {
 		// The output index space exceeds uint64: key the workspace by the
 		// index pair directly.

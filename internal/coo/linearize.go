@@ -42,11 +42,15 @@ func LinearSize(dims []uint64) (uint64, error) {
 	return acc, nil
 }
 
-// Linearize maps a coordinate tuple to a single row-major index.
+// Linearize maps a coordinate tuple to a single row-major index. The
+// strides must come from Strides, which rejects extent sets whose product
+// overflows uint64; in-range coordinates therefore cannot overflow here.
+//
+//fastcc:hotpath
 func Linearize(coords, strides []uint64) uint64 {
 	idx := uint64(0)
 	for m, c := range coords {
-		idx += c * strides[m]
+		idx += c * strides[m] //fastcc:allow linovf -- Strides validated the extent product
 	}
 	return idx
 }

@@ -102,6 +102,10 @@ func Contract(l, r *coo.Matrix, cfg Config) (*mempool.List[Triple], *Stats, erro
 	if tl == 0 || tr == 0 {
 		return nil, nil, fmt.Errorf("core: zero tile size %dx%d", tl, tr)
 	}
+	// Bound the sides first so the tl*tr product below cannot wrap uint64.
+	if tl > 1<<31 || tr > 1<<31 {
+		return nil, nil, fmt.Errorf("core: tile side exceeds 2^31 (%dx%d)", tl, tr)
+	}
 	if dec.Kind == model.AccumDense {
 		if tr&(tr-1) != 0 {
 			return nil, nil, fmt.Errorf("core: dense accumulator needs power-of-two TileR, got %d", tr)
@@ -109,9 +113,6 @@ func Contract(l, r *coo.Matrix, cfg Config) (*mempool.List[Triple], *Stats, erro
 		if tl*tr > 1<<31 {
 			return nil, nil, fmt.Errorf("core: dense tile %dx%d exceeds addressable positions", tl, tr)
 		}
-	}
-	if tl > 1<<31 || tr > 1<<31 {
-		return nil, nil, fmt.Errorf("core: tile side exceeds 2^31 (%dx%d)", tl, tr)
 	}
 	st.TileL, st.TileR = tl, tr
 	nl := int((l.ExtDim + tl - 1) / tl)
@@ -218,6 +219,8 @@ func tileNNZHint(dec model.Decision, tl, tr uint64) int {
 // filtering — the paper's thread-local construction scheme. Workers write
 // disjoint slots of tables, so no synchronization is needed beyond the
 // team barrier.
+//
+//fastcc:hotpath
 func buildTileTables(tables []*hashtable.SliceTable, m *coo.Matrix, tile uint64, w, teamSize int) {
 	nnz := m.NNZ()
 	hint := 0
@@ -269,6 +272,8 @@ func nonEmptyTiles(tables []*hashtable.SliceTable) []int {
 // contraction keys of the two input tiles, form the outer product of the
 // matching slices into the worker's accumulator, then drain to the
 // worker-local COO list with global coordinates restored.
+//
+//fastcc:hotpath
 func contractTilePair(hl, hr *hashtable.SliceTable, baseL, baseR uint64,
 	wk *worker, pool *mempool.Pool[Triple], ctr *metrics.Counters) {
 
@@ -286,7 +291,7 @@ func contractTilePair(hl, hr *hashtable.SliceTable, baseL, baseR uint64,
 	// the interface call would otherwise sit on every multiply-accumulate.
 	dense, _ := wk.acc.(*accum.Dense)
 	sparse, _ := wk.acc.(*accum.Sparse)
-	iter.ForEach(func(c uint64, ips []hashtable.Pair) {
+	iter.ForEach(func(c uint64, ips []hashtable.Pair) { //fastcc:allow hotalloc -- one closure per tile task, outside the per-update loops
 		queries++
 		pps := probeInto.Lookup(c)
 		if pps == nil {
@@ -327,7 +332,7 @@ func contractTilePair(hl, hr *hashtable.SliceTable, baseL, baseR uint64,
 	ctr.AddQueries(queries)
 	ctr.AddVolume(volume)
 	ctr.AddUpdates(updates)
-	wk.acc.Drain(func(l, r uint32, v float64) {
+	wk.acc.Drain(func(l, r uint32, v float64) { //fastcc:allow hotalloc -- one closure per tile task, outside the per-update loops
 		pool.Append(Triple{L: baseL + uint64(l), R: baseR + uint64(r), V: v})
 	})
 }

@@ -120,6 +120,8 @@ func nonEmptySorted(tables []*sortedTile) []int {
 // contractTilePairSorted computes one output tile by merging the two
 // tiles' sorted key arrays; matching keys contract their pair runs by
 // outer product into the worker's accumulator.
+//
+//fastcc:hotpath
 func contractTilePairSorted(sl, sr *sortedTile, baseL, baseR uint64,
 	wk *worker, pool *mempool.Pool[Triple], ctr *metrics.Counters) {
 
@@ -169,7 +171,7 @@ func contractTilePairSorted(sl, sr *sortedTile, baseL, baseR uint64,
 	ctr.AddQueries(queries)
 	ctr.AddVolume(volume)
 	ctr.AddUpdates(updates)
-	wk.acc.Drain(func(l, r uint32, v float64) {
+	wk.acc.Drain(func(l, r uint32, v float64) { //fastcc:allow hotalloc -- one closure per tile task, outside the per-update loops
 		pool.Append(Triple{L: baseL + uint64(l), R: baseR + uint64(r), V: v})
 	})
 }

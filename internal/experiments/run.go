@@ -102,13 +102,20 @@ func denseFeasible(stats fastcc.Stats) bool {
 func denseGrid(l, r *coo.Tensor, spec coo.Spec, denseT uint64) (int64, error) {
 	extL := coo.ExternalModes(l.Order(), spec.CtrLeft)
 	extR := coo.ExternalModes(r.Order(), spec.CtrRight)
-	lDim := uint64(1)
-	for _, m := range extL {
-		lDim *= l.Dims[m]
+	gather := func(dims []uint64, modes []int) []uint64 {
+		out := make([]uint64, len(modes))
+		for k, m := range modes {
+			out[k] = dims[m]
+		}
+		return out
 	}
-	rDim := uint64(1)
-	for _, m := range extR {
-		rDim *= r.Dims[m]
+	lDim, err := coo.LinearSize(gather(l.Dims, extL))
+	if err != nil {
+		return 0, fmt.Errorf("experiments: left output extent: %w", err)
+	}
+	rDim, err := coo.LinearSize(gather(r.Dims, extR))
+	if err != nil {
+		return 0, fmt.Errorf("experiments: right output extent: %w", err)
 	}
 	if denseT == 0 {
 		return 0, fmt.Errorf("experiments: zero dense tile")

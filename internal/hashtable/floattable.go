@@ -54,6 +54,8 @@ func (t *FloatTable) setOccupied(slot uint64) {
 
 // Upsert adds v to the value stored at key, inserting the key when absent —
 // WS.upsert from paper Algorithm 4.
+//
+//fastcc:hotpath
 func (t *FloatTable) Upsert(key uint64, v float64) {
 	slot := Mix(key) & t.mask
 	for {
@@ -78,6 +80,8 @@ func (t *FloatTable) Upsert(key uint64, v float64) {
 }
 
 // Get returns the accumulated value for key.
+//
+//fastcc:hotpath
 func (t *FloatTable) Get(key uint64) (float64, bool) {
 	slot := Mix(key) & t.mask
 	for {

@@ -41,6 +41,8 @@ func (t *RobinTable) Len() int { return t.n }
 func (t *RobinTable) Grows() int { return t.grows }
 
 // Upsert adds v to the value at key, inserting if absent.
+//
+//fastcc:hotpath
 func (t *RobinTable) Upsert(key uint64, v float64) {
 	if float64(t.n+1) > robinMaxLoad*float64(len(t.keys)) {
 		t.grow()

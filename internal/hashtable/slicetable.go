@@ -52,6 +52,8 @@ func (t *SliceTable) Len() int { return len(t.lists) }
 func (t *SliceTable) Pairs() int { return t.pairs }
 
 // Insert appends (idx, val) to key's pair list, creating the key if new.
+//
+//fastcc:hotpath
 func (t *SliceTable) Insert(key uint64, idx uint32, val float64) {
 	slot := t.findSlot(key)
 	if t.listIdx[slot] == sliceEmptySlot {
@@ -61,15 +63,17 @@ func (t *SliceTable) Insert(key uint64, idx uint32, val float64) {
 		}
 		t.keys[slot] = key
 		t.listIdx[slot] = int32(len(t.lists))
-		t.lists = append(t.lists, nil)
+		t.lists = append(t.lists, nil) //fastcc:allow hotalloc -- amortized arena growth, once per distinct key
 	}
 	li := t.listIdx[slot]
-	t.lists[li] = append(t.lists[li], Pair{Idx: idx, Val: val})
+	t.lists[li] = append(t.lists[li], Pair{Idx: idx, Val: val}) //fastcc:allow hotalloc -- amortized per-key list growth
 	t.pairs++
 }
 
 // Lookup returns the pair list for key, or nil when absent. The returned
 // slice is owned by the table and must not be modified.
+//
+//fastcc:hotpath
 func (t *SliceTable) Lookup(key uint64) []Pair {
 	slot := t.findSlot(key)
 	if t.listIdx[slot] == sliceEmptySlot {

@@ -75,7 +75,7 @@ func FromCOO(t *coo.Tensor, blockBits uint) (*Tensor, error) {
 		var bk, wk uint64
 		for m := 0; m < order; m++ {
 			cm := c.Coords[m][i]
-			bk += (cm >> blockBits) * gridStrides[m]
+			bk += (cm >> blockBits) * gridStrides[m] //fastcc:allow linovf -- coo.Strides validated the grid product above
 			wk = wk<<blockBits | (cm & mask)
 		}
 		blocks[i] = bk

@@ -29,12 +29,14 @@ func New[T any](chunkLen int) *Pool[T] {
 }
 
 // Append adds one element, allocating a new chunk when the tail is full.
+//
+//fastcc:hotpath
 func (p *Pool[T]) Append(v T) {
 	if len(p.chunks) == 0 || len(p.chunks[len(p.chunks)-1]) == cap(p.chunks[len(p.chunks)-1]) {
-		p.chunks = append(p.chunks, make([]T, 0, p.chunkLen))
+		p.chunks = append(p.chunks, make([]T, 0, p.chunkLen)) //fastcc:allow hotalloc -- chunk allocation IS the amortization, once per chunkLen appends
 	}
 	last := len(p.chunks) - 1
-	p.chunks[last] = append(p.chunks[last], v)
+	p.chunks[last] = append(p.chunks[last], v) //fastcc:allow hotalloc -- tail append is capacity-bounded, never reallocates
 	p.n++
 }
 

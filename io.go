@@ -77,7 +77,7 @@ func SaveTNS(path string, t *Tensor) error {
 		err = zw.Close()
 	}
 	if err != nil {
-		f.Close()
+		_ = f.Close() // best effort; the write error is what matters
 		return err
 	}
 	return f.Close()
