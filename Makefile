@@ -1,0 +1,33 @@
+# Make targets mirror the CI gates in .github/workflows/ci.yml one-to-one,
+# so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet fuzz-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The supported race gate is -short: full -race on the experiment
+# packages replays paper workloads and is too slow for a gate.
+race:
+	$(GO) test -race -short ./...
+
+# go vet plus the project's own analyzer suite (atomicmix, errdiscard,
+# hotalloc, linovf, wgmisuse — see tools/analysis/ and README.md).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/fastcc-vet ./...
+
+# Short fuzz of every existing Fuzz* target; go test -fuzz takes one
+# target per package per invocation.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzParseEinsum -fuzztime=$(FUZZTIME) .
+	$(GO) test -run=^$$ -fuzz=FuzzReadTNS -fuzztime=$(FUZZTIME) ./internal/coo
+	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/tnsbin
+
+ci: build vet test race fuzz-smoke
