@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz-smoke ci
+.PHONY: build test race vet fuzz-smoke bench-smoke bench-reuse ci
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,15 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReadTNS -fuzztime=$(FUZZTIME) ./internal/coo
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/tnsbin
 
-ci: build vet test race fuzz-smoke
+# One-iteration run of the prepared-operand reuse benchmark: exercises the
+# Preshard/ContractPrepared path end to end (the warm iterations assert
+# Stats.Build == 0 and ShardReused) without paying full benchmark time.
+bench-smoke:
+	$(GO) test -bench=Reuse -benchtime=1x -run=^$$ .
+
+# Regenerate the checked-in BENCH_reuse.json (cold vs warm comparison on
+# the FROSTT suite at benchmark scale).
+bench-reuse:
+	$(GO) run ./cmd/fastcc-bench -exp reuse -scale-frostt 0.002 -repeats 7 -platform desktop8 > BENCH_reuse.json
+
+ci: build vet test race fuzz-smoke bench-smoke

@@ -38,20 +38,20 @@ func Einsum(expr string, l, r *Tensor, opts ...Option) (*Tensor, *Stats, error) 
 func ParseEinsum(expr string, lOrder, rOrder int) (Spec, error) {
 	lhs, rhs, ok := strings.Cut(expr, "->")
 	if !ok {
-		return Spec{}, fmt.Errorf("einsum: %q has no \"->\"", expr)
+		return Spec{}, fmt.Errorf("%w: %q has no \"->\"", ErrBadExpr, expr)
 	}
 	left, right, ok := strings.Cut(lhs, ",")
 	if !ok {
-		return Spec{}, fmt.Errorf("einsum: %q needs exactly two comma-separated operands", expr)
+		return Spec{}, fmt.Errorf("%w: %q needs exactly two comma-separated operands", ErrBadExpr, expr)
 	}
 	lLabels := []rune(strings.TrimSpace(left))
 	rLabels := []rune(strings.TrimSpace(right))
 	oLabels := []rune(strings.TrimSpace(rhs))
 	if len(lLabels) != lOrder {
-		return Spec{}, fmt.Errorf("einsum: left operand has %d modes but %q has %d labels", lOrder, left, len(lLabels))
+		return Spec{}, fmt.Errorf("%w: left operand has %d modes but %q has %d labels", ErrBadExpr, lOrder, left, len(lLabels))
 	}
 	if len(rLabels) != rOrder {
-		return Spec{}, fmt.Errorf("einsum: right operand has %d modes but %q has %d labels", rOrder, right, len(rLabels))
+		return Spec{}, fmt.Errorf("%w: right operand has %d modes but %q has %d labels", ErrBadExpr, rOrder, right, len(rLabels))
 	}
 
 	lPos, err := labelPositions(lLabels, "left")
@@ -74,14 +74,14 @@ func ParseEinsum(expr string, lOrder, rOrder int) (Spec, error) {
 		_, inO := oPos[lab]
 		switch {
 		case inR && inO:
-			return Spec{}, fmt.Errorf("einsum: label %q appears in both inputs and the output (batch modes unsupported)", lab)
+			return Spec{}, fmt.Errorf("%w: label %q appears in both inputs and the output (batch modes unsupported)", ErrBadExpr, lab)
 		case inR:
 			spec.CtrLeft = append(spec.CtrLeft, lPos[lab])
 			spec.CtrRight = append(spec.CtrRight, rPos[lab])
 		case inO:
 			extLeft = append(extLeft, lab)
 		default:
-			return Spec{}, fmt.Errorf("einsum: left label %q appears nowhere else (free summation unsupported)", lab)
+			return Spec{}, fmt.Errorf("%w: left label %q appears nowhere else (free summation unsupported)", ErrBadExpr, lab)
 		}
 	}
 	for _, lab := range rLabels {
@@ -89,7 +89,7 @@ func ParseEinsum(expr string, lOrder, rOrder int) (Spec, error) {
 			continue // contracted, handled above
 		}
 		if _, inO := oPos[lab]; !inO {
-			return Spec{}, fmt.Errorf("einsum: right label %q appears nowhere else (free summation unsupported)", lab)
+			return Spec{}, fmt.Errorf("%w: right label %q appears nowhere else (free summation unsupported)", ErrBadExpr, lab)
 		}
 		extRight = append(extRight, lab)
 	}
@@ -98,15 +98,15 @@ func ParseEinsum(expr string, lOrder, rOrder int) (Spec, error) {
 	// externals; the output spelling must match.
 	want := append(append([]rune{}, extLeft...), extRight...)
 	if len(oLabels) != len(want) {
-		return Spec{}, fmt.Errorf("einsum: output %q must have %d labels (the externals), got %d", rhs, len(want), len(oLabels))
+		return Spec{}, fmt.Errorf("%w: output %q must have %d labels (the externals), got %d", ErrBadExpr, rhs, len(want), len(oLabels))
 	}
 	for i := range want {
 		if oLabels[i] != want[i] {
-			return Spec{}, fmt.Errorf("einsum: output %q must spell the externals as %q (left externals then right, in operand order)", rhs, string(want))
+			return Spec{}, fmt.Errorf("%w: output %q must spell the externals as %q (left externals then right, in operand order)", ErrBadExpr, rhs, string(want))
 		}
 	}
 	if len(spec.CtrLeft) == 0 {
-		return Spec{}, fmt.Errorf("einsum: %q contracts no labels", expr)
+		return Spec{}, fmt.Errorf("%w: %q contracts no labels", ErrBadExpr, expr)
 	}
 	return spec, nil
 }
@@ -115,10 +115,10 @@ func labelPositions(labels []rune, side string) (map[rune]int, error) {
 	pos := make(map[rune]int, len(labels))
 	for i, lab := range labels {
 		if lab == ' ' {
-			return nil, fmt.Errorf("einsum: unexpected space inside %s labels", side)
+			return nil, fmt.Errorf("%w: unexpected space inside %s labels", ErrBadExpr, side)
 		}
 		if _, dup := pos[lab]; dup {
-			return nil, fmt.Errorf("einsum: label %q repeated in %s operand (traces unsupported)", lab, side)
+			return nil, fmt.Errorf("%w: label %q repeated in %s operand (traces unsupported)", ErrBadExpr, lab, side)
 		}
 		pos[lab] = i
 	}

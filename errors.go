@@ -1,0 +1,52 @@
+package fastcc
+
+import (
+	"errors"
+
+	"fastcc/internal/coo"
+)
+
+// Typed errors. Every validation failure out of Contract, ContractPrepared,
+// Preshard, Einsum and ParseEinsum wraps one of these sentinels (or is a
+// *ShapeError), so callers branch with errors.Is / errors.As instead of
+// string matching:
+//
+//	_, _, err := fastcc.Contract(l, r, spec)
+//	var se *fastcc.ShapeError
+//	switch {
+//	case errors.As(err, &se):
+//		log.Printf("left mode %d extent %d vs right mode %d extent %d",
+//			se.LeftMode, se.LeftExtent, se.RightMode, se.RightExtent)
+//	case errors.Is(err, fastcc.ErrBadSpec):
+//		// malformed contraction spec (fix the call, not the data)
+//	case errors.Is(err, fastcc.ErrBadOption):
+//		// invalid or conflicting Option combination
+//	}
+var (
+	// ErrShapeMismatch matches any structural shape failure: operand
+	// validation errors and contracted-extent mismatches (the latter also
+	// match as *ShapeError for mode/extent detail).
+	ErrShapeMismatch = coo.ErrShape
+
+	// ErrBadSpec matches a contraction Spec that is malformed independently
+	// of the operand data: empty or unequal mode lists, out-of-range modes,
+	// or a mode contracted twice.
+	ErrBadSpec = coo.ErrBadSpec
+
+	// ErrBadExpr matches an einsum expression that does not parse or does
+	// not fit the engine's two-operand contraction form (see Einsum for the
+	// accepted grammar).
+	ErrBadExpr = errors.New("einsum: bad expression")
+
+	// ErrBadOption matches an invalid or conflicting Option combination,
+	// reported eagerly by Contract/Preshard before any work runs: negative
+	// WithThreads, tile sides beyond 2^31, a non-power-of-two TileR under a
+	// forced dense accumulator, or a dense tile exceeding the addressable
+	// positions.
+	ErrBadOption = errors.New("fastcc: bad option")
+)
+
+// ShapeError reports a contracted-extent mismatch between the two operands,
+// carrying mode/extent detail for errors.As callers. It unwraps to
+// ErrShapeMismatch.
+type ShapeError = coo.ShapeError

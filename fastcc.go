@@ -24,6 +24,7 @@
 package fastcc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -82,6 +83,12 @@ type Stats struct {
 	// OutputNNZ is the number of nonzeros in the output.
 	OutputNNZ int
 
+	// ShardReusedL/ShardReusedR report that the operand's tile shard was
+	// served from a *Sharded cache instead of being rebuilt; ShardReused is
+	// the full hit (both sides), in which case Build == 0.
+	ShardReusedL, ShardReusedR bool
+	ShardReused                bool
+
 	// Phase timings. Total = Linearize + Build + Contract + Concat +
 	// Delinearize; linearization and delinearization are included in the
 	// measured time exactly as in the paper.
@@ -98,10 +105,19 @@ type Stats struct {
 
 // String renders the stats on two lines for logs.
 func (s *Stats) String() string {
+	reuse := ""
+	switch {
+	case s.ShardReused:
+		reuse = " shards=reused"
+	case s.ShardReusedL:
+		reuse = " shards=reusedL"
+	case s.ShardReusedR:
+		reuse = " shards=reusedR"
+	}
 	return fmt.Sprintf(
-		"fastcc: accumulator=%s tile=%dx%d grid=%dx%d tasks=%d threads=%d out_nnz=%d\n"+
+		"fastcc: accumulator=%s tile=%dx%d grid=%dx%d tasks=%d threads=%d out_nnz=%d%s\n"+
 			"fastcc: total=%v (linearize=%v build=%v contract=%v concat=%v delinearize=%v)",
-		s.Decision.Kind, s.TileL, s.TileR, s.NL, s.NR, s.Tasks, s.Threads, s.OutputNNZ,
+		s.Decision.Kind, s.TileL, s.TileR, s.NL, s.NR, s.Tasks, s.Threads, s.OutputNNZ, reuse,
 		s.Total, s.Linearize, s.Build, s.Contract, s.Concat, s.Delinearize)
 }
 
@@ -124,6 +140,49 @@ type options struct {
 	platform     model.Platform
 	counters     *metrics.Counters
 	rep          core.InputRep
+	ctx          context.Context
+}
+
+// resolveOptions applies the options in order and validates the combination
+// eagerly, so a bad call fails with ErrBadOption before any work runs.
+func resolveOptions(opts []Option) (options, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if err := o.validate(); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
+// validate reports invalid or conflicting option combinations. Checks that
+// depend on operand data (zero extents, model fallbacks) stay in the engine;
+// everything knowable from the options alone is rejected here.
+func (o *options) validate() error {
+	if o.threads < 0 {
+		return fmt.Errorf("%w: WithThreads(%d) is negative (0 means GOMAXPROCS)", ErrBadOption, o.threads)
+	}
+	if o.tileL > 1<<31 || o.tileR > 1<<31 {
+		return fmt.Errorf("%w: WithTileSize(%d, %d) exceeds the 2^31 tile-side bound", ErrBadOption, o.tileL, o.tileR)
+	}
+	switch o.accum {
+	case model.AccumAuto, model.AccumDense, model.AccumSparse:
+	default:
+		return fmt.Errorf("%w: WithAccumulator(%d) is not a known accumulator kind", ErrBadOption, int(o.accum))
+	}
+	switch o.rep {
+	case core.RepHash, core.RepSorted:
+	default:
+		return fmt.Errorf("%w: WithInputRep(%d) is not a known input representation", ErrBadOption, int(o.rep))
+	}
+	if o.accum == model.AccumDense && o.tileR != 0 && o.tileR&(o.tileR-1) != 0 {
+		return fmt.Errorf("%w: WithAccumulator(AccumDense) conflicts with WithTileSize tr=%d (dense accumulation needs a power-of-two right tile side)", ErrBadOption, o.tileR)
+	}
+	if o.accum == model.AccumDense && o.tileL != 0 && o.tileR != 0 && o.tileL*o.tileR > 1<<31 {
+		return fmt.Errorf("%w: WithAccumulator(AccumDense) conflicts with WithTileSize(%d, %d) (dense tile exceeds addressable positions)", ErrBadOption, o.tileL, o.tileR)
+	}
+	return nil
 }
 
 // Option configures Contract.
@@ -152,13 +211,20 @@ func WithMetrics() Option {
 // WithInputRep selects the input-tile representation (default RepHash).
 func WithInputRep(rep InputRep) Option { return func(o *options) { o.rep = rep } }
 
+// WithContext attaches a context for cooperative cancellation: the run
+// checks it between pipeline stages and at tile-task boundaries and returns
+// the context's error wrapped. See also ContractContext.
+func WithContext(ctx context.Context) Option { return func(o *options) { o.ctx = ctx } }
+
 // Contract contracts l and r per spec and returns the output tensor (in
 // COO, sorted order unspecified, duplicates absent) together with run
-// statistics.
+// statistics. Each call linearizes and shards its operands transiently; to
+// amortize that work across repeated contractions, Preshard the operands
+// once and use ContractPrepared.
 func Contract(l, r *Tensor, spec Spec, opts ...Option) (*Tensor, *Stats, error) {
-	var o options
-	for _, fn := range opts {
-		fn(&o)
+	o, err := resolveOptions(opts)
+	if err != nil {
+		return nil, nil, err
 	}
 	if err := spec.Validate(l, r); err != nil {
 		return nil, nil, err
@@ -166,75 +232,42 @@ func Contract(l, r *Tensor, spec Spec, opts ...Option) (*Tensor, *Stats, error) 
 	if err := l.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("left operand: %w", err)
 	}
-	if err := r.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("right operand: %w", err)
+	if r != l {
+		if err := r.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("right operand: %w", err)
+		}
 	}
 
-	st := &Stats{}
-	tStart := time.Now()
-
-	// Pre-processing: linearize mode groups (timed, per the paper).
+	// Pre-processing: linearize mode groups (timed, per the paper). A
+	// self-contraction (same tensor, same contracted modes) shares one
+	// prepared operand so it is linearized and sharded exactly once.
 	t0 := time.Now()
-	extL := coo.ExternalModes(l.Order(), spec.CtrLeft)
-	extR := coo.ExternalModes(r.Order(), spec.CtrRight)
-	lm, err := l.Matrixize(extL, spec.CtrLeft)
+	lsh, err := preshardValidated(l, spec.CtrLeft)
 	if err != nil {
 		return nil, nil, err
 	}
-	rm, err := r.Matrixize(extR, spec.CtrRight)
-	if err != nil {
-		return nil, nil, err
+	rsh := lsh
+	if !(r == l && sameModes(spec.CtrLeft, spec.CtrRight)) {
+		rsh, err = preshardValidated(r, spec.CtrRight)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
-	st.Linearize = time.Since(t0)
+	return contractSharded(lsh, rsh, &o, time.Since(t0))
+}
 
-	out, cst, err := core.Contract(lm, rm, core.Config{
-		Threads:  o.threads,
-		TileL:    o.tileL,
-		TileR:    o.tileR,
-		Accum:    o.accum,
-		Platform: o.platform,
-		Counters: o.counters,
-		Rep:      o.rep,
-	})
-	if err != nil {
-		return nil, nil, err
+// sameModes reports whether two contracted-mode lists are identical
+// (same modes, same pairing order).
+func sameModes(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	st.Decision = cst.Decision
-	st.TileL, st.TileR = cst.TileL, cst.TileR
-	st.NL, st.NR, st.Tasks = cst.NL, cst.NR, cst.Tasks
-	st.Threads = cst.Threads
-	st.OutputNNZ = cst.OutputNNZ
-	st.Build = cst.BuildTime
-	st.Contract = cst.ContractTime
-	st.Concat = cst.ConcatTime
-
-	// Post-processing: de-linearize output coordinates (timed).
-	t0 = time.Now()
-	n := out.Len()
-	ls := make([]uint64, 0, n)
-	rs := make([]uint64, 0, n)
-	vs := make([]float64, 0, n)
-	out.ForEach(func(t core.Triple) {
-		ls = append(ls, t.L)
-		rs = append(rs, t.R)
-		vs = append(vs, t.V)
-	})
-	lDims := make([]uint64, len(extL))
-	for i, m := range extL {
-		lDims[i] = l.Dims[m]
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
 	}
-	rDims := make([]uint64, len(extR))
-	for i, m := range extR {
-		rDims[i] = r.Dims[m]
-	}
-	result, err := coo.FromPairsP(ls, rs, vs, lDims, rDims, st.Threads)
-	if err != nil {
-		return nil, nil, err
-	}
-	st.Delinearize = time.Since(t0)
-	st.Total = time.Since(tStart)
-	st.Counters = o.counters.Snapshot()
-	return result, st, nil
+	return true
 }
 
 // SelfContract contracts a tensor with itself over the given modes — the

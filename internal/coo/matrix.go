@@ -35,29 +35,44 @@ type Spec struct {
 	CtrRight []int
 }
 
-// Validate checks the spec against the two operand tensors.
+// Validate checks the spec against the two operand tensors. Structural
+// problems with the spec itself unwrap to ErrBadSpec; a contracted-extent
+// mismatch between the operands is reported as a *ShapeError (which unwraps
+// to ErrShape).
 func (s Spec) Validate(l, r *Tensor) error {
-	if len(s.CtrLeft) != len(s.CtrRight) {
-		return fmt.Errorf("%w: %d left vs %d right contraction modes", ErrShape, len(s.CtrLeft), len(s.CtrRight))
-	}
-	if len(s.CtrLeft) == 0 {
-		return fmt.Errorf("%w: contraction must sum over at least one mode", ErrShape)
-	}
-	if len(s.CtrLeft) > l.Order() || len(s.CtrRight) > r.Order() {
-		return fmt.Errorf("%w: more contraction modes than tensor modes", ErrShape)
-	}
-	if err := checkModeSet(s.CtrLeft, l.Order()); err != nil {
-		return fmt.Errorf("left operand: %w", err)
-	}
-	if err := checkModeSet(s.CtrRight, r.Order()); err != nil {
-		return fmt.Errorf("right operand: %w", err)
+	if err := s.ValidateModes(l.Order(), r.Order()); err != nil {
+		return err
 	}
 	for k := range s.CtrLeft {
 		dl, dr := l.Dims[s.CtrLeft[k]], r.Dims[s.CtrRight[k]]
 		if dl != dr {
-			return fmt.Errorf("%w: contracted extents differ (left mode %d extent %d, right mode %d extent %d)",
-				ErrShape, s.CtrLeft[k], dl, s.CtrRight[k], dr)
+			return &ShapeError{
+				LeftMode: s.CtrLeft[k], LeftExtent: dl,
+				RightMode: s.CtrRight[k], RightExtent: dr,
+			}
 		}
+	}
+	return nil
+}
+
+// ValidateModes checks the spec's structure against the operand orders
+// alone, without extents — the part a prepared operand can check before its
+// partner is known. Failures unwrap to ErrBadSpec.
+func (s Spec) ValidateModes(lOrder, rOrder int) error {
+	if len(s.CtrLeft) != len(s.CtrRight) {
+		return fmt.Errorf("%w: %d left vs %d right contraction modes", ErrBadSpec, len(s.CtrLeft), len(s.CtrRight))
+	}
+	if len(s.CtrLeft) == 0 {
+		return fmt.Errorf("%w: contraction must sum over at least one mode", ErrBadSpec)
+	}
+	if len(s.CtrLeft) > lOrder || len(s.CtrRight) > rOrder {
+		return fmt.Errorf("%w: more contraction modes than tensor modes", ErrBadSpec)
+	}
+	if err := checkModeSet(s.CtrLeft, lOrder); err != nil {
+		return fmt.Errorf("left operand: %w", err)
+	}
+	if err := checkModeSet(s.CtrRight, rOrder); err != nil {
+		return fmt.Errorf("right operand: %w", err)
 	}
 	return nil
 }
@@ -66,10 +81,10 @@ func checkModeSet(modes []int, order int) error {
 	seen := make(map[int]bool, len(modes))
 	for _, m := range modes {
 		if m < 0 || m >= order {
-			return fmt.Errorf("%w: mode %d out of range [0,%d)", ErrShape, m, order)
+			return fmt.Errorf("%w: mode %d out of range [0,%d)", ErrBadSpec, m, order)
 		}
 		if seen[m] {
-			return fmt.Errorf("%w: mode %d contracted twice", ErrShape, m)
+			return fmt.Errorf("%w: mode %d contracted twice", ErrBadSpec, m)
 		}
 		seen[m] = true
 	}

@@ -35,6 +35,28 @@ type Tensor struct {
 // ErrShape reports a structural problem with a tensor or a contraction spec.
 var ErrShape = errors.New("coo: shape error")
 
+// ErrBadSpec reports a contraction spec that is malformed independently of
+// the operands' extents: mismatched or empty mode lists, out-of-range modes,
+// or a mode contracted twice. It unwraps from every such Validate failure so
+// callers can distinguish "fix the spec" from "fix the data" (ErrShape).
+var ErrBadSpec = errors.New("coo: bad contraction spec")
+
+// ShapeError reports a contracted-extent mismatch between two operands,
+// carrying the mode/extent detail so callers can diagnose programmatically
+// via errors.As. It unwraps to ErrShape.
+type ShapeError struct {
+	LeftMode, RightMode     int
+	LeftExtent, RightExtent uint64
+}
+
+func (e *ShapeError) Error() string {
+	return fmt.Sprintf("%v: contracted extents differ (left mode %d extent %d, right mode %d extent %d)",
+		ErrShape, e.LeftMode, e.LeftExtent, e.RightMode, e.RightExtent)
+}
+
+// Unwrap makes errors.Is(err, ErrShape) hold for extent mismatches.
+func (e *ShapeError) Unwrap() error { return ErrShape }
+
 // New returns an empty tensor with the given mode extents and capacity hint.
 func New(dims []uint64, capHint int) *Tensor {
 	t := &Tensor{

@@ -5,16 +5,23 @@
 // contractions run as dynamically scheduled parallel tasks, each
 // accumulating into a worker-local dense or sparse tile and draining into a
 // worker-local chunked COO list that is finally concatenated by reference.
+//
+// The engine is split into three explicit stages so the Build phase can be
+// amortized across repeated contractions (the prepared-operand API):
+//
+//   - plan: run the probabilistic model and resolve tile sizes (Algorithm 7);
+//   - build: fetch or construct each operand's tile shard (Algorithm 5),
+//     memoized per Operand under the ShardKey compatibility contract;
+//   - execute: run the tile-task contraction, accumulate, drain, concat
+//     (Algorithm 6).
 package core
 
 import (
+	"context"
 	"fmt"
-	"math/bits"
 	"time"
 
-	"fastcc/internal/accum"
 	"fastcc/internal/coo"
-	"fastcc/internal/hashtable"
 	"fastcc/internal/mempool"
 	"fastcc/internal/metrics"
 	"fastcc/internal/model"
@@ -45,6 +52,17 @@ type Config struct {
 	// Rep selects the input-tile representation: the paper's hash tables
 	// (default) or the sorted-array ablation.
 	Rep InputRep
+	// Context, when non-nil, cancels the run cooperatively: it is checked
+	// between stages and at tile-task boundaries, and the run returns
+	// Context.Err() wrapped.
+	Context context.Context
+}
+
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 // Stats reports what one contraction run did.
@@ -58,37 +76,100 @@ type Stats struct {
 	Tasks int
 	// OutputNNZ is the number of output nonzeros produced.
 	OutputNNZ int
+	// ShardReusedL/ShardReusedR report that the operand's tile shard was
+	// served from an Operand's cache instead of being built; BuildTime is
+	// zero when both are true.
+	ShardReusedL, ShardReusedR bool
 	// Phase timings (the paper's four steps; drain time is inside Contract).
 	BuildTime    time.Duration
 	ContractTime time.Duration
 	ConcatTime   time.Duration
 }
 
+// outputChunks recycles the chunk storage of output triple lists across
+// runs; RecycleOutput returns a consumed run's chunks here.
+var outputChunks = mempool.NewChunkCache[Triple](0)
+
+// accKey is the accumulator-shape compatibility key for worker recycling.
+type accKey struct {
+	kind   model.AccumKind
+	tl, tr uint64
+}
+
+// workerFree parks per-worker accumulators between runs so repeated
+// contractions with the same tile shape stop reallocating tile-sized
+// buffers.
+var workerFree = mempool.NewFreelist[accKey, *worker](0)
+
 // Contract runs the tiled-CO contraction O[l,r] = Σ_c L[l,c]·R[c,r] on
 // matrixized operands and returns the output as a concatenated chunk list
-// of triples (Algorithm 5/6).
+// of triples. The operands are sharded transiently — nothing is cached
+// across calls; callers that contract the same operand repeatedly should
+// wrap it once with NewOperand and use ContractOperands.
 func Contract(l, r *coo.Matrix, cfg Config) (*mempool.List[Triple], *Stats, error) {
+	return ContractOperands(NewOperand(l), NewOperand(r), cfg)
+}
+
+// ContractOperands is Contract over shard-caching operands: each side's
+// Build phase is skipped when the operand already holds a shard compatible
+// with this run's plan (same tile side and representation). Passing the
+// same *Operand on both sides of a self-contraction shards it exactly once.
+func ContractOperands(l, r *Operand, cfg Config) (*mempool.List[Triple], *Stats, error) {
 	if cfg.Platform == (model.Platform{}) {
 		cfg.Platform = model.Auto()
 	}
 	threads := scheduler.Workers(cfg.Threads)
 	st := &Stats{Threads: threads}
 
-	if l.ExtDim == 0 || r.ExtDim == 0 || l.CtrDim == 0 {
-		return nil, nil, fmt.Errorf("core: zero-extent operand (L=%d, R=%d, C=%d)", l.ExtDim, r.ExtDim, l.CtrDim)
+	dec, err := plan(l.Mat, r.Mat, cfg)
+	if err != nil {
+		return nil, nil, err
 	}
-	if l.CtrDim != r.CtrDim {
-		return nil, nil, fmt.Errorf("core: contraction extents differ (%d vs %d)", l.CtrDim, r.CtrDim)
+	st.Decision = dec
+	tl, tr := dec.TileL, dec.TileR
+	st.TileL, st.TileR = tl, tr
+	st.NL = int((l.Mat.ExtDim + tl - 1) / tl)
+	st.NR = int((r.Mat.ExtDim + tr - 1) / tr)
+
+	if err := cfg.ctx().Err(); err != nil {
+		return nil, nil, canceled(err)
 	}
 
-	// Step 0: model decision (Algorithm 7), honoring overrides.
+	// Build stage: fetch or construct the two shards. BuildTime stays zero
+	// on a full cache hit — the amortization the prepared-operand API
+	// exists to deliver.
+	ls, rs, builtL, builtR := buildShards(l, r, ShardKey{Tile: tl, Rep: cfg.Rep}, ShardKey{Tile: tr, Rep: cfg.Rep}, threads, st)
+	st.ShardReusedL, st.ShardReusedR = !builtL, !builtR
+
+	if err := cfg.ctx().Err(); err != nil {
+		return nil, nil, canceled(err)
+	}
+
+	return execute(ls, rs, dec, threads, cfg, st)
+}
+
+// canceled wraps a context error so callers can errors.Is against
+// context.Canceled / DeadlineExceeded while seeing the engine frame.
+func canceled(err error) error {
+	return fmt.Errorf("core: contraction canceled: %w", err)
+}
+
+// plan runs the model decision (Algorithm 7), applies overrides, and
+// validates the resulting tile geometry.
+func plan(l, r *coo.Matrix, cfg Config) (model.Decision, error) {
+	if l.ExtDim == 0 || r.ExtDim == 0 || l.CtrDim == 0 {
+		return model.Decision{}, fmt.Errorf("core: zero-extent operand (L=%d, R=%d, C=%d)", l.ExtDim, r.ExtDim, l.CtrDim)
+	}
+	if l.CtrDim != r.CtrDim {
+		return model.Decision{}, fmt.Errorf("core: contraction extents differ (%d vs %d)", l.CtrDim, r.CtrDim)
+	}
 	in := model.Inputs{
 		NNZL: int64(l.NNZ()), NNZR: int64(r.NNZ()),
 		LDim: l.ExtDim, RDim: r.ExtDim, CDim: l.CtrDim,
 	}
 	dec, err := model.Decide(in, cfg.Platform)
 	if err != nil {
-		return nil, nil, err
+		return model.Decision{}, err
 	}
 	dec = dec.ForceKind(cfg.Accum, in, cfg.Platform)
 	if cfg.TileL != 0 {
@@ -97,81 +178,106 @@ func Contract(l, r *coo.Matrix, cfg Config) (*mempool.List[Triple], *Stats, erro
 	if cfg.TileR != 0 {
 		dec.TileR = cfg.TileR
 	}
-	st.Decision = dec
 	tl, tr := dec.TileL, dec.TileR
 	if tl == 0 || tr == 0 {
-		return nil, nil, fmt.Errorf("core: zero tile size %dx%d", tl, tr)
+		return model.Decision{}, fmt.Errorf("core: zero tile size %dx%d", tl, tr)
 	}
 	// Bound the sides first so the tl*tr product below cannot wrap uint64.
 	if tl > 1<<31 || tr > 1<<31 {
-		return nil, nil, fmt.Errorf("core: tile side exceeds 2^31 (%dx%d)", tl, tr)
+		return model.Decision{}, fmt.Errorf("core: tile side exceeds 2^31 (%dx%d)", tl, tr)
 	}
 	if dec.Kind == model.AccumDense {
 		if tr&(tr-1) != 0 {
-			return nil, nil, fmt.Errorf("core: dense accumulator needs power-of-two TileR, got %d", tr)
+			return model.Decision{}, fmt.Errorf("core: dense accumulator needs power-of-two TileR, got %d", tr)
 		}
 		if tl*tr > 1<<31 {
-			return nil, nil, fmt.Errorf("core: dense tile %dx%d exceeds addressable positions", tl, tr)
+			return model.Decision{}, fmt.Errorf("core: dense tile %dx%d exceeds addressable positions", tl, tr)
 		}
 	}
-	st.TileL, st.TileR = tl, tr
-	nl := int((l.ExtDim + tl - 1) / tl)
-	nr := int((r.ExtDim + tr - 1) / tr)
-	st.NL, st.NR = nl, nr
+	return dec, nil
+}
 
-	// Step 1: parallel construction of the tiled input tables, half the
-	// workers on each operand (Section 4.2).
+// buildShards fetches or builds both operands' shards. When both need
+// building they share the worker budget (the paper's two build teams,
+// Section 4.2); when one side is already cached, the other gets every
+// worker. A self-contraction sharing one Operand with one key builds once.
+func buildShards(l, r *Operand, keyL, keyR ShardKey, threads int, st *Stats) (ls, rs *Shard, builtL, builtR bool) {
 	t0 := time.Now()
-	var hl, hr []*hashtable.SliceTable
-	var sl, sr []*sortedTile
-	if cfg.Rep == RepSorted {
-		sl = make([]*sortedTile, nl)
-		sr = make([]*sortedTile, nr)
-		scheduler.Teams(threads,
-			func(w, size int) { buildSortedTileTables(sl, l, tl, w, size) },
-			func(w, size int) { buildSortedTileTables(sr, r, tr, w, size) },
-		)
+	if l == r && keyL == keyR {
+		ls, builtL = l.Shard(keyL, threads)
+		rs = ls
 	} else {
-		hl = make([]*hashtable.SliceTable, nl)
-		hr = make([]*hashtable.SliceTable, nr)
-		scheduler.Teams(threads,
-			func(w, size int) { buildTileTables(hl, l, tl, w, size) },
-			func(w, size int) { buildTileTables(hr, r, tr, w, size) },
-		)
+		thL := (threads + 1) / 2
+		thR := threads - thL
+		if thR == 0 {
+			thR = 1
+		}
+		if l.Cached(keyL) {
+			thR = threads
+		}
+		if r.Cached(keyR) {
+			thL = threads
+		}
+		done := make(chan struct{})
+		go func() {
+			rs, builtR = r.Shard(keyR, thR)
+			close(done)
+		}()
+		ls, builtL = l.Shard(keyL, thL)
+		<-done
 	}
-	st.BuildTime = time.Since(t0)
+	if builtL || builtR {
+		st.BuildTime = time.Since(t0)
+	}
+	return ls, rs, builtL, builtR
+}
 
-	// Steps 2-4: tile-task contraction, accumulate, drain.
-	t0 = time.Now()
-	var nonEmptyL, nonEmptyR []int
-	if cfg.Rep == RepSorted {
-		nonEmptyL = nonEmptySorted(sl)
-		nonEmptyR = nonEmptySorted(sr)
-	} else {
-		nonEmptyL = nonEmptyTiles(hl)
-		nonEmptyR = nonEmptyTiles(hr)
-	}
+// execute runs the tile-task contraction over two built shards: steps 2-4
+// of the paper's pipeline (contract, accumulate, drain) plus the final
+// concatenation by reference.
+func execute(ls, rs *Shard, dec model.Decision, threads int, cfg Config, st *Stats) (*mempool.List[Triple], *Stats, error) {
+	tl, tr := dec.TileL, dec.TileR
+	nonEmptyL := ls.NonEmpty()
+	nonEmptyR := rs.NonEmpty()
 	tasks := len(nonEmptyL) * len(nonEmptyR)
 	st.Tasks = tasks
 
+	t0 := time.Now()
 	pools := make([]*mempool.Pool[Triple], threads)
 	workers := make([]*worker, threads)
+	wkey := accKey{kind: dec.Kind, tl: tl, tr: tr}
 	sparseHint := tileNNZHint(dec, tl, tr)
-	scheduler.Pool(threads, tasks, func(w, task int) {
+	err := scheduler.PoolCtx(cfg.ctx(), threads, tasks, func(w, task int) {
 		wk := workers[w]
 		if wk == nil {
-			wk = newWorker(dec.Kind, tl, tr, sparseHint)
+			if parked, ok := workerFree.Get(wkey); ok {
+				wk = parked
+			} else {
+				wk = newWorker(dec.Kind, tl, tr, sparseHint)
+			}
 			workers[w] = wk
-			pools[w] = mempool.New[Triple](0)
+			pools[w] = outputChunks.NewPool()
 		}
 		i := nonEmptyL[task/len(nonEmptyR)]
 		j := nonEmptyR[task%len(nonEmptyR)]
 		if cfg.Rep == RepSorted {
-			contractTilePairSorted(sl[i], sr[j], uint64(i)*tl, uint64(j)*tr, wk, pools[w], cfg.Counters)
+			contractTilePairSorted(ls.sorted[i], rs.sorted[j], uint64(i)*tl, uint64(j)*tr, wk, pools[w], cfg.Counters)
 		} else {
-			contractTilePair(hl[i], hr[j], uint64(i)*tl, uint64(j)*tr, wk, pools[w], cfg.Counters)
+			contractTilePair(ls.hash[i], rs.hash[j], uint64(i)*tl, uint64(j)*tr, wk, pools[w], cfg.Counters)
 		}
 	})
+	// Accumulators drain at the end of every task, so canceled or not they
+	// are empty and safe to park for the next run.
+	for _, wk := range workers {
+		if wk != nil {
+			workerFree.Put(wkey, wk)
+		}
+	}
+	if err != nil {
+		// Partial output is discarded; hand its chunks straight back.
+		outputChunks.Release(mempool.Concat(pools...))
+		return nil, nil, canceled(err)
+	}
 	st.ContractTime = time.Since(t0)
 
 	// Final step: concatenate thread-local lists by pointer movement.
@@ -186,153 +292,8 @@ func Contract(l, r *coo.Matrix, cfg Config) (*mempool.List[Triple], *Stats, erro
 	return out, st, nil
 }
 
-// worker holds the per-worker reusable accumulator.
-type worker struct {
-	acc accum.Accumulator
-}
-
-func newWorker(kind model.AccumKind, tl, tr uint64, sparseHint int) *worker {
-	switch kind {
-	case model.AccumSparse:
-		return &worker{acc: accum.NewSparse(sparseHint)}
-	default:
-		return &worker{acc: accum.NewDense(uint32(tl), uint32(tr))}
-	}
-}
-
-// tileNNZHint sizes the sparse accumulator from the model's expected
-// nonzeros per tile, bounded to keep initial allocations modest.
-func tileNNZHint(dec model.Decision, tl, tr uint64) int {
-	e := dec.PNonzero * float64(tl) * float64(tr)
-	switch {
-	case e < 64:
-		return 64
-	case e > 1<<22:
-		return 1 << 22
-	default:
-		return int(e)
-	}
-}
-
-// buildTileTables builds the per-tile hash tables this worker owns
-// (ownership i mod teamSize == w) by scanning the whole operand and
-// filtering — the paper's thread-local construction scheme. Workers write
-// disjoint slots of tables, so no synchronization is needed beyond the
-// team barrier.
-//
-//fastcc:hotpath
-func buildTileTables(tables []*hashtable.SliceTable, m *coo.Matrix, tile uint64, w, teamSize int) {
-	nnz := m.NNZ()
-	hint := 0
-	if len(tables) > 0 {
-		hint = nnz / len(tables)
-	}
-	// Tile sides are powers of two whenever the model chose them; replace
-	// the division in the hot filter loop with a shift in that case.
-	shift := -1
-	if tile&(tile-1) == 0 {
-		shift = bits.TrailingZeros64(tile)
-	}
-	mask := tile - 1
-	for k := 0; k < nnz; k++ {
-		ext := m.Ext[k]
-		var i int
-		var intra uint32
-		if shift >= 0 {
-			i = int(ext >> shift)
-			intra = uint32(ext & mask)
-		} else {
-			i = int(ext / tile)
-			intra = uint32(ext - uint64(i)*tile)
-		}
-		if i%teamSize != w {
-			continue
-		}
-		t := tables[i]
-		if t == nil {
-			t = hashtable.NewSliceTable(hint)
-			tables[i] = t
-		}
-		t.Insert(m.Ctr[k], intra, m.Val[k])
-	}
-}
-
-// nonEmptyTiles lists the indices of tiles holding at least one nonzero.
-func nonEmptyTiles(tables []*hashtable.SliceTable) []int {
-	out := make([]int, 0, len(tables))
-	for i, t := range tables {
-		if t != nil && t.Len() > 0 {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
-// contractTilePair computes one output tile (Algorithm 6): co-iterate the
-// contraction keys of the two input tiles, form the outer product of the
-// matching slices into the worker's accumulator, then drain to the
-// worker-local COO list with global coordinates restored.
-//
-//fastcc:hotpath
-func contractTilePair(hl, hr *hashtable.SliceTable, baseL, baseR uint64,
-	wk *worker, pool *mempool.Pool[Triple], ctr *metrics.Counters) {
-
-	// Iterate the table with fewer distinct keys and probe the other: the
-	// intersection is the same, the query count smaller.
-	probeInto := hr
-	iter := hl
-	swapped := false
-	if hr.Len() < hl.Len() {
-		iter, probeInto = hr, hl
-		swapped = true
-	}
-	var queries, volume, updates int64
-	// Devirtualize the accumulator for the upsert-dominated inner loops:
-	// the interface call would otherwise sit on every multiply-accumulate.
-	dense, _ := wk.acc.(*accum.Dense)
-	sparse, _ := wk.acc.(*accum.Sparse)
-	iter.ForEach(func(c uint64, ips []hashtable.Pair) { //fastcc:allow hotalloc -- one closure per tile task, outside the per-update loops
-		queries++
-		pps := probeInto.Lookup(c)
-		if pps == nil {
-			return
-		}
-		volume += int64(len(ips)) + int64(len(pps))
-		updates += int64(len(ips)) * int64(len(pps))
-		lps, rps := ips, pps
-		if swapped {
-			// iter is the right tile: ips are r-indices, pps l-indices.
-			lps, rps = pps, ips
-		}
-		switch {
-		case dense != nil:
-			for _, lp := range lps {
-				lv, li := lp.Val, lp.Idx
-				for _, rp := range rps {
-					dense.Upsert(li, rp.Idx, lv*rp.Val)
-				}
-			}
-		case sparse != nil:
-			for _, lp := range lps {
-				lv, li := lp.Val, lp.Idx
-				for _, rp := range rps {
-					sparse.Upsert(li, rp.Idx, lv*rp.Val)
-				}
-			}
-		default:
-			acc := wk.acc
-			for _, lp := range lps {
-				lv, li := lp.Val, lp.Idx
-				for _, rp := range rps {
-					acc.Upsert(li, rp.Idx, lv*rp.Val)
-				}
-			}
-		}
-	})
-	ctr.AddQueries(queries)
-	ctr.AddVolume(volume)
-	ctr.AddUpdates(updates)
-	wk.acc.Drain(func(l, r uint32, v float64) { //fastcc:allow hotalloc -- one closure per tile task, outside the per-update loops
-		pool.Append(Triple{L: baseL + uint64(l), R: baseR + uint64(r), V: v})
-	})
-}
+// RecycleOutput returns the chunk storage of a contraction result to the
+// engine's chunk cache so the next run reuses it. Call only after every
+// triple has been copied out of the list; the chunks are overwritten by
+// future runs.
+func RecycleOutput(l *mempool.List[Triple]) { outputChunks.Release(l) }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sync"
+
+	"fastcc/internal/coo"
+	"fastcc/internal/hashtable"
+	"fastcc/internal/scheduler"
+)
+
+// Operand wraps a matrixized contraction operand together with a cache of
+// built tile shards. Building a shard — scanning the operand and bucketing
+// its nonzeros into per-tile hash tables or sorted groups — is the paper's
+// Build phase (Algorithm 5, Section 4.2); caching it by ShardKey lets
+// repeated contractions over the same operand skip that phase entirely.
+//
+// An Operand is safe for concurrent use: multiple contractions may share
+// one, and a shard needed by several of them at once is built exactly once
+// while the others wait.
+type Operand struct {
+	// Mat is the matrixized operand; treated as immutable once wrapped.
+	Mat *coo.Matrix
+
+	mu     sync.Mutex
+	shards map[ShardKey]*Shard
+}
+
+// NewOperand wraps a matrixized operand for shard caching. The matrix must
+// not be mutated afterwards: cached shards index into it.
+func NewOperand(m *coo.Matrix) *Operand {
+	return &Operand{Mat: m, shards: make(map[ShardKey]*Shard)}
+}
+
+// ShardKey is the shard-compatibility contract: a contraction can reuse a
+// cached shard iff it partitions the operand with the same tile side under
+// the same input representation. The tile side fixes the grid (tiles =
+// ceil(ExtDim/Tile)) and the intra-tile index split, so any contraction
+// arriving at the same (Tile, Rep) — whether from the model's decision or
+// an explicit override — sees bit-identical tables.
+type ShardKey struct {
+	Tile uint64
+	Rep  InputRep
+}
+
+// Shard is one operand's built tile tables for a given ShardKey. Immutable
+// after construction, so concurrent contractions read it without locks.
+type Shard struct {
+	Key ShardKey
+
+	hash     []*hashtable.SliceTable // RepHash tiles (nil entries are empty)
+	sorted   []*sortedTile           // RepSorted tiles
+	nonEmpty []int                   // indices of tiles with at least one nonzero
+
+	built chan struct{} // closed when the build completes
+}
+
+// Tiles returns the tile-grid size (number of tiles along the operand's
+// external dimension).
+func (s *Shard) Tiles() int {
+	if s.Key.Rep == RepSorted {
+		return len(s.sorted)
+	}
+	return len(s.hash)
+}
+
+// NonEmpty returns the indices of nonempty tiles (read-only).
+func (s *Shard) NonEmpty() []int { return s.nonEmpty }
+
+// Shard returns the built shard for key, building it with `threads` workers
+// on a miss. The second result reports whether this call performed the
+// build; a hit — including waiting out another goroutine's in-flight build —
+// returns false, which is what Stats reports as shard reuse.
+func (o *Operand) Shard(key ShardKey, threads int) (*Shard, bool) {
+	o.mu.Lock()
+	s, ok := o.shards[key]
+	if ok {
+		o.mu.Unlock()
+		<-s.built
+		return s, false
+	}
+	s = &Shard{Key: key, built: make(chan struct{})}
+	o.shards[key] = s
+	o.mu.Unlock()
+	s.build(o.Mat, threads)
+	close(s.built)
+	return s, true
+}
+
+// Cached reports whether a completed shard for key is available without
+// blocking (an in-flight build counts as not yet cached).
+func (o *Operand) Cached(key ShardKey) bool {
+	o.mu.Lock()
+	s, ok := o.shards[key]
+	o.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-s.built:
+		return true
+	default:
+		return false
+	}
+}
+
+// build runs the Build phase for this shard: each worker owns the tiles i
+// with i % workers == w (the paper's thread-local construction scheme).
+func (s *Shard) build(m *coo.Matrix, threads int) {
+	n := int((m.ExtDim + s.Key.Tile - 1) / s.Key.Tile)
+	if s.Key.Rep == RepSorted {
+		s.sorted = make([]*sortedTile, n)
+		scheduler.Static(threads, func(w, size int) {
+			buildSortedTileTables(s.sorted, m, s.Key.Tile, w, size)
+		})
+		s.nonEmpty = nonEmptySorted(s.sorted)
+	} else {
+		s.hash = make([]*hashtable.SliceTable, n)
+		scheduler.Static(threads, func(w, size int) {
+			buildTileTables(s.hash, m, s.Key.Tile, w, size)
+		})
+		s.nonEmpty = nonEmptyTiles(s.hash)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/bits"
+
+	"fastcc/internal/accum"
+	"fastcc/internal/coo"
+	"fastcc/internal/hashtable"
+	"fastcc/internal/mempool"
+	"fastcc/internal/metrics"
+	"fastcc/internal/model"
+)
+
+// worker holds the per-worker reusable accumulator.
+type worker struct {
+	acc accum.Accumulator
+}
+
+func newWorker(kind model.AccumKind, tl, tr uint64, sparseHint int) *worker {
+	switch kind {
+	case model.AccumSparse:
+		return &worker{acc: accum.NewSparse(sparseHint)}
+	default:
+		return &worker{acc: accum.NewDense(uint32(tl), uint32(tr))}
+	}
+}
+
+// tileNNZHint sizes the sparse accumulator from the model's expected
+// nonzeros per tile, bounded to keep initial allocations modest.
+func tileNNZHint(dec model.Decision, tl, tr uint64) int {
+	e := dec.PNonzero * float64(tl) * float64(tr)
+	switch {
+	case e < 64:
+		return 64
+	case e > 1<<22:
+		return 1 << 22
+	default:
+		return int(e)
+	}
+}
+
+// buildTileTables builds the per-tile hash tables this worker owns
+// (ownership i mod teamSize == w) by scanning the whole operand and
+// filtering — the paper's thread-local construction scheme. Workers write
+// disjoint slots of tables, so no synchronization is needed beyond the
+// team barrier.
+//
+//fastcc:hotpath
+func buildTileTables(tables []*hashtable.SliceTable, m *coo.Matrix, tile uint64, w, teamSize int) {
+	nnz := m.NNZ()
+	hint := 0
+	if len(tables) > 0 {
+		hint = nnz / len(tables)
+	}
+	// Tile sides are powers of two whenever the model chose them; replace
+	// the division in the hot filter loop with a shift in that case.
+	shift := -1
+	if tile&(tile-1) == 0 {
+		shift = bits.TrailingZeros64(tile)
+	}
+	mask := tile - 1
+	for k := 0; k < nnz; k++ {
+		ext := m.Ext[k]
+		var i int
+		var intra uint32
+		if shift >= 0 {
+			i = int(ext >> shift)
+			intra = uint32(ext & mask)
+		} else {
+			i = int(ext / tile)
+			intra = uint32(ext - uint64(i)*tile)
+		}
+		if i%teamSize != w {
+			continue
+		}
+		t := tables[i]
+		if t == nil {
+			t = hashtable.NewSliceTable(hint)
+			tables[i] = t
+		}
+		t.Insert(m.Ctr[k], intra, m.Val[k])
+	}
+}
+
+// nonEmptyTiles lists the indices of tiles holding at least one nonzero.
+func nonEmptyTiles(tables []*hashtable.SliceTable) []int {
+	out := make([]int, 0, len(tables))
+	for i, t := range tables {
+		if t != nil && t.Len() > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// contractTilePair computes one output tile (Algorithm 6): co-iterate the
+// contraction keys of the two input tiles, form the outer product of the
+// matching slices into the worker's accumulator, then drain to the
+// worker-local COO list with global coordinates restored.
+//
+//fastcc:hotpath
+func contractTilePair(hl, hr *hashtable.SliceTable, baseL, baseR uint64,
+	wk *worker, pool *mempool.Pool[Triple], ctr *metrics.Counters) {
+
+	// Iterate the table with fewer distinct keys and probe the other: the
+	// intersection is the same, the query count smaller.
+	probeInto := hr
+	iter := hl
+	swapped := false
+	if hr.Len() < hl.Len() {
+		iter, probeInto = hr, hl
+		swapped = true
+	}
+	var queries, volume, updates int64
+	// Devirtualize the accumulator for the upsert-dominated inner loops:
+	// the interface call would otherwise sit on every multiply-accumulate.
+	dense, _ := wk.acc.(*accum.Dense)
+	sparse, _ := wk.acc.(*accum.Sparse)
+	iter.ForEach(func(c uint64, ips []hashtable.Pair) { //fastcc:allow hotalloc -- one closure per tile task, outside the per-update loops
+		queries++
+		pps := probeInto.Lookup(c)
+		if pps == nil {
+			return
+		}
+		volume += int64(len(ips)) + int64(len(pps))
+		updates += int64(len(ips)) * int64(len(pps))
+		lps, rps := ips, pps
+		if swapped {
+			// iter is the right tile: ips are r-indices, pps l-indices.
+			lps, rps = pps, ips
+		}
+		switch {
+		case dense != nil:
+			for _, lp := range lps {
+				lv, li := lp.Val, lp.Idx
+				for _, rp := range rps {
+					dense.Upsert(li, rp.Idx, lv*rp.Val)
+				}
+			}
+		case sparse != nil:
+			for _, lp := range lps {
+				lv, li := lp.Val, lp.Idx
+				for _, rp := range rps {
+					sparse.Upsert(li, rp.Idx, lv*rp.Val)
+				}
+			}
+		default:
+			acc := wk.acc
+			for _, lp := range lps {
+				lv, li := lp.Val, lp.Idx
+				for _, rp := range rps {
+					acc.Upsert(li, rp.Idx, lv*rp.Val)
+				}
+			}
+		}
+	})
+	ctr.AddQueries(queries)
+	ctr.AddVolume(volume)
+	ctr.AddUpdates(updates)
+	wk.acc.Drain(func(l, r uint32, v float64) { //fastcc:allow hotalloc -- one closure per tile task, outside the per-update loops
+		pool.Append(Triple{L: baseL + uint64(l), R: baseR + uint64(r), V: v})
+	})
+}

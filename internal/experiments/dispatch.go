@@ -18,6 +18,7 @@ var runners = map[string]func(Config, string) error{
 	"ablate": func(c Config, _ string) error { return RunAblations(c) },
 	"model":  func(c Config, _ string) error { return RunModelAccuracy(c) },
 	"phases": func(c Config, _ string) error { return RunPhases(c) },
+	"reuse":  func(c Config, _ string) error { return RunReuse(c) },
 }
 
 // Names lists the available experiments in stable order.
@@ -33,7 +34,7 @@ func Names() []string {
 // Run dispatches one experiment by name; "all" runs everything in order.
 func Run(cfg Config, name, suite string) error {
 	if name == "all" {
-		for _, n := range []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablate", "model", "phases"} {
+		for _, n := range []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablate", "model", "phases", "reuse"} {
 			fmt.Fprintf(cfg.writer(), "\n===== %s =====\n\n", n)
 			if err := Run(cfg, n, suite); err != nil {
 				return err

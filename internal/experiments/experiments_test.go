@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -187,7 +188,7 @@ func TestDispatch(t *testing.T) {
 		t.Fatal("unknown experiment should error")
 	}
 	names := Names()
-	if len(names) != 10 {
+	if len(names) != 11 {
 		t.Fatalf("Names() = %v", names)
 	}
 	if err := Run(cfg, "model", "all"); err != nil {
@@ -195,6 +196,29 @@ func TestDispatch(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "meas/pred") {
 		t.Fatal("model experiment output missing")
+	}
+}
+
+func TestRunReuseEmitsValidJSON(t *testing.T) {
+	var buf strings.Builder
+	cfg := tinyConfig(&buf)
+	if err := RunReuse(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var report ReuseReport
+	if err := json.Unmarshal([]byte(buf.String()), &report); err != nil {
+		t.Fatalf("reuse output is not valid JSON: %v", err)
+	}
+	if len(report.Cases) == 0 {
+		t.Fatal("reuse report has no cases")
+	}
+	for _, c := range report.Cases {
+		if !c.ShardReused || c.WarmBuildSeconds != 0 {
+			t.Fatalf("case %s: warm run missed the shard cache: %+v", c.Case, c)
+		}
+	}
+	if report.GeomeanSpeedup <= 0 {
+		t.Fatalf("geomean speedup = %v", report.GeomeanSpeedup)
 	}
 }
 

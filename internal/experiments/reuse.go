@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"fastcc"
+)
+
+// ReuseResult is one case of the prepared-operand amortization experiment,
+// serialized into BENCH_reuse.json.
+type ReuseResult struct {
+	Case string `json:"case"`
+	// ColdSeconds is a full fastcc.Contract: linearize + build + contract.
+	ColdSeconds float64 `json:"cold_seconds"`
+	// WarmSeconds is fastcc.ContractPrepared against a *Sharded whose tile
+	// shard is already cached: the contract stage only.
+	WarmSeconds float64 `json:"warm_seconds"`
+	// WarmBuildSeconds is the warm run's reported Stats.Build (must be 0).
+	WarmBuildSeconds float64 `json:"warm_build_seconds"`
+	// ShardReused is the warm run's Stats.ShardReused (must be true).
+	ShardReused bool    `json:"shard_reused"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// ReuseReport is the full experiment output: per-case comparisons plus the
+// geometric-mean speedup of the warm path over the cold path.
+type ReuseReport struct {
+	Cases          []ReuseResult `json:"cases"`
+	GeomeanSpeedup float64       `json:"geomean_speedup"`
+}
+
+// RunReuse measures what the prepared-operand API amortizes: for each
+// FROSTT-shaped self-contraction it times the cold path (Contract from the
+// raw tensor, re-linearizing and re-sharding every call) against the warm
+// path (ContractPrepared on a cached *Sharded), and emits the comparison as
+// JSON. The warm runs must report Stats.Build == 0 with ShardReused set —
+// that is the acceptance contract for the shard cache.
+func RunReuse(cfg Config) error {
+	var report ReuseReport
+	logSum, logN := 0.0, 0
+	for _, cs := range Catalog() {
+		if cs.Suite != "frostt" {
+			continue
+		}
+		l, r, spec, err := cs.Load(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := measureReuse(cfg, cs.ID, l, r, spec)
+		if err != nil {
+			return fmt.Errorf("reuse %s: %w", cs.ID, err)
+		}
+		report.Cases = append(report.Cases, res)
+		if res.Speedup > 0 {
+			logSum += math.Log(res.Speedup)
+			logN++
+		}
+	}
+	if logN > 0 {
+		report.GeomeanSpeedup = math.Exp(logSum / float64(logN))
+	}
+	enc := json.NewEncoder(cfg.writer())
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+func measureReuse(cfg Config, id string, l, r *fastcc.Tensor, spec fastcc.Spec) (ReuseResult, error) {
+	opts := fastccOpts(cfg)
+
+	cold := time.Duration(0)
+	for i := 0; i < cfg.repeats(); i++ {
+		t0 := time.Now()
+		if _, _, err := fastcc.Contract(l, r, spec, opts...); err != nil {
+			return ReuseResult{}, err
+		}
+		if d := time.Since(t0); i == 0 || d < cold {
+			cold = d
+		}
+	}
+
+	// FROSTT cases are self-contractions (l == r), so one Preshard covers
+	// both sides; a general pair preshards each.
+	ls, err := fastcc.Preshard(l, spec.CtrLeft, opts...)
+	if err != nil {
+		return ReuseResult{}, err
+	}
+	rs := ls
+	if r != l {
+		if rs, err = fastcc.Preshard(r, spec.CtrRight, opts...); err != nil {
+			return ReuseResult{}, err
+		}
+	}
+	// First prepared run builds the model-chosen tile shard into the cache.
+	if _, _, err := fastcc.ContractPrepared(ls, rs, opts...); err != nil {
+		return ReuseResult{}, err
+	}
+	warm := time.Duration(0)
+	var warmStats *fastcc.Stats
+	for i := 0; i < cfg.repeats(); i++ {
+		t0 := time.Now()
+		_, st, err := fastcc.ContractPrepared(ls, rs, opts...)
+		if err != nil {
+			return ReuseResult{}, err
+		}
+		if d := time.Since(t0); i == 0 || d < warm {
+			warm, warmStats = d, st
+		}
+	}
+
+	res := ReuseResult{
+		Case:             id,
+		ColdSeconds:      cold.Seconds(),
+		WarmSeconds:      warm.Seconds(),
+		WarmBuildSeconds: warmStats.Build.Seconds(),
+		ShardReused:      warmStats.ShardReused,
+	}
+	if warm > 0 {
+		res.Speedup = cold.Seconds() / warm.Seconds()
+	}
+	if !warmStats.ShardReused || warmStats.Build != 0 {
+		return res, fmt.Errorf("warm run did not hit the shard cache: %+v", warmStats)
+	}
+	return res, nil
+}

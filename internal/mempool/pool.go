@@ -3,7 +3,15 @@
 // concatenates those lists by reference, never copying element data — the
 // Go analogue of the paper's 512 MB-chunk memory-pool layer for COO output
 // construction (Section 4.2).
+//
+// For repeated contractions the package also provides the recycling layer
+// the prepared-operand API builds on: ChunkCache returns drained chunk
+// storage to a free pool instead of the garbage collector, Freelist keeps
+// shaped scratch objects (accumulators) alive between runs, and SlicePool
+// recycles flat scratch slices.
 package mempool
+
+import "sync"
 
 // DefaultChunkLen is the number of elements per chunk when none is given.
 // The paper uses 512 MB chunks; we size in elements so the pool is type-
@@ -17,6 +25,7 @@ type Pool[T any] struct {
 	chunkLen int
 	chunks   [][]T
 	n        int
+	cache    *ChunkCache[T] // non-nil when chunks are drawn from a cache
 }
 
 // New returns a pool with the given chunk length (elements per allocation).
@@ -28,12 +37,21 @@ func New[T any](chunkLen int) *Pool[T] {
 	return &Pool[T]{chunkLen: chunkLen}
 }
 
+// newChunk returns fresh chunk storage: recycled when the pool is backed by
+// a ChunkCache, freshly allocated otherwise.
+func (p *Pool[T]) newChunk() []T {
+	if p.cache != nil {
+		return p.cache.get()
+	}
+	return make([]T, 0, p.chunkLen)
+}
+
 // Append adds one element, allocating a new chunk when the tail is full.
 //
 //fastcc:hotpath
 func (p *Pool[T]) Append(v T) {
 	if len(p.chunks) == 0 || len(p.chunks[len(p.chunks)-1]) == cap(p.chunks[len(p.chunks)-1]) {
-		p.chunks = append(p.chunks, make([]T, 0, p.chunkLen)) //fastcc:allow hotalloc -- chunk allocation IS the amortization, once per chunkLen appends
+		p.chunks = append(p.chunks, p.newChunk()) //fastcc:allow hotalloc -- chunk allocation IS the amortization, once per chunkLen appends
 	}
 	last := len(p.chunks) - 1
 	p.chunks[last] = append(p.chunks[last], v) //fastcc:allow hotalloc -- tail append is capacity-bounded, never reallocates
@@ -105,3 +123,118 @@ func (l *List[T]) ForEach(fn func(T)) {
 
 // Chunks exposes the chunk slices (read-only).
 func (l *List[T]) Chunks() [][]T { return l.chunks }
+
+// ChunkCache recycles fixed-length chunk storage between contraction runs.
+// Pools created via NewPool draw their chunks from the cache; once a run's
+// output List has been fully copied out, Release returns every chunk for
+// the next run. Safe for concurrent use (it wraps sync.Pool), so parallel
+// contractions share one cache.
+type ChunkCache[T any] struct {
+	chunkLen int
+	pool     sync.Pool
+}
+
+// NewChunkCache returns a cache of chunks with the given length; <= 0
+// selects DefaultChunkLen.
+func NewChunkCache[T any](chunkLen int) *ChunkCache[T] {
+	if chunkLen <= 0 {
+		chunkLen = DefaultChunkLen
+	}
+	c := &ChunkCache[T]{chunkLen: chunkLen}
+	c.pool.New = func() any { return make([]T, 0, chunkLen) }
+	return c
+}
+
+// NewPool returns an empty Pool whose chunks come from (and may return to)
+// this cache.
+func (c *ChunkCache[T]) NewPool() *Pool[T] {
+	return &Pool[T]{chunkLen: c.chunkLen, cache: c}
+}
+
+func (c *ChunkCache[T]) get() []T { return c.pool.Get().([]T)[:0] }
+
+// Release returns all chunk storage of l to the cache and empties l. Call
+// only when every element has been copied out: the chunks will be handed to
+// future pools and overwritten.
+func (c *ChunkCache[T]) Release(l *List[T]) {
+	if l == nil {
+		return
+	}
+	for _, ch := range l.chunks {
+		if cap(ch) == c.chunkLen {
+			c.pool.Put(ch[:0])
+		}
+	}
+	l.chunks = nil
+	l.n = 0
+}
+
+// Freelist is a bounded, concurrency-safe free list of reusable values
+// grouped by a comparable key — the engine parks per-worker accumulators
+// here between runs, keyed by their shape, so repeated contractions stop
+// reallocating tile-sized buffers.
+type Freelist[K comparable, V any] struct {
+	mu     sync.Mutex
+	perKey int
+	items  map[K][]V
+}
+
+// NewFreelist returns a free list keeping at most perKey parked values per
+// key (<= 0 selects 16).
+func NewFreelist[K comparable, V any](perKey int) *Freelist[K, V] {
+	if perKey <= 0 {
+		perKey = 16
+	}
+	return &Freelist[K, V]{perKey: perKey, items: make(map[K][]V)}
+}
+
+// Get pops a parked value for key, reporting whether one was available.
+func (f *Freelist[K, V]) Get(k K) (V, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	vs := f.items[k]
+	if len(vs) == 0 {
+		var zero V
+		return zero, false
+	}
+	v := vs[len(vs)-1]
+	var zero V
+	vs[len(vs)-1] = zero // do not pin the parked value through the backing array
+	f.items[k] = vs[:len(vs)-1]
+	return v, true
+}
+
+// Put parks v for future Get(k) calls; full lists drop v for the GC.
+func (f *Freelist[K, V]) Put(k K, v V) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.items[k]) >= f.perKey {
+		return
+	}
+	f.items[k] = append(f.items[k], v)
+}
+
+// SlicePool recycles variable-capacity scratch slices (the engine's
+// de-linearization buffers). Safe for concurrent use.
+type SlicePool[T any] struct {
+	pool sync.Pool
+}
+
+// Get returns an empty slice with capacity at least capHint, recycled when
+// a large-enough one is parked.
+func (s *SlicePool[T]) Get(capHint int) []T {
+	if v := s.pool.Get(); v != nil {
+		b := v.([]T)
+		if cap(b) >= capHint {
+			return b[:0]
+		}
+	}
+	return make([]T, 0, capHint)
+}
+
+// Put parks b for reuse; the caller must not retain it.
+func (s *SlicePool[T]) Put(b []T) {
+	if cap(b) > 0 {
+		s.pool.Put(b[:0])
+	}
+}

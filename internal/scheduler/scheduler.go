@@ -10,6 +10,7 @@
 package scheduler
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -57,18 +58,32 @@ func Teams(n int, teamA, teamB func(worker, teamSize int)) {
 // worker keeps its id for the task's lifetime, so fn can use worker-local
 // scratch state (accumulators, output pools). Returns when all tasks finish.
 func Pool(workers, tasks int, fn func(worker, task int)) {
+	// context.Background() is never canceled, so the per-task Err() check in
+	// PoolCtx reduces to a nil comparison.
+	_ = PoolCtx(context.Background(), workers, tasks, fn)
+}
+
+// PoolCtx is Pool with cooperative cancellation: workers stop claiming new
+// tasks once ctx is done and PoolCtx returns ctx.Err(). Tasks already
+// in flight run to completion — cancellation is observed only at tile-task
+// boundaries, so worker-local scratch state is never abandoned mid-task.
+// Returns nil when every task ran.
+func PoolCtx(ctx context.Context, workers, tasks int, fn func(worker, task int)) error {
 	workers = Workers(workers)
 	if tasks <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers > tasks {
 		workers = tasks
 	}
 	if workers == 1 {
 		for t := 0; t < tasks; t++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(0, t)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -76,7 +91,7 @@ func Pool(workers, tasks int, fn func(worker, task int)) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				t := int(next.Add(1)) - 1
 				if t >= tasks {
 					return
@@ -86,6 +101,7 @@ func Pool(workers, tasks int, fn func(worker, task int)) {
 		}(w)
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Static runs fn(worker) on `workers` goroutines and waits; workers derive

@@ -1,10 +1,62 @@
 package scheduler
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
 )
+
+func TestPoolCtxCompletesUncanceled(t *testing.T) {
+	const tasks = 200
+	var hits [tasks]atomic.Int32
+	err := PoolCtx(context.Background(), 4, tasks, func(_, task int) {
+		hits[task].Add(1)
+	})
+	if err != nil {
+		t.Fatalf("PoolCtx: %v", err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("task %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestPoolCtxStopsAtTaskBoundary(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := PoolCtx(ctx, workers, 100000, func(_, task int) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err=%v want context.Canceled", workers, err)
+		}
+		// Cancellation is cooperative: in-flight tasks finish, but no more
+		// than one extra claim per worker can slip through.
+		if got := ran.Load(); got > int64(3+workers) {
+			t.Fatalf("workers=%d: %d tasks ran after cancel", workers, got)
+		}
+	}
+}
+
+func TestPoolCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := PoolCtx(ctx, 2, 10, func(_, task int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v", err)
+	}
+	if got := ran.Load(); got > 2 {
+		t.Fatalf("%d tasks ran under pre-canceled context", got)
+	}
+}
 
 func TestWorkers(t *testing.T) {
 	if Workers(4) != 4 {

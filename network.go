@@ -3,8 +3,8 @@ package fastcc
 import (
 	"fmt"
 	"strings"
+	"time"
 
-	"fastcc/internal/coo"
 	"fastcc/internal/model"
 )
 
@@ -26,33 +26,67 @@ import (
 // pairs whose shared labels are still live elsewhere are not contractible
 // yet. Expressions where no valid pairwise order exists (e.g. true batch
 // indices shared three ways) are rejected.
+//
+// Operands are prepared via the Preshard machinery, and the prepared form
+// is cached per (tensor, contracted modes) for the whole evaluation: a
+// tensor appearing in several operand slots (e.g. the same factor repeated
+// in a network) is linearized and sharded once, and later steps report
+// shard reuse in their Stats.
 func EinsumN(expr string, tensors []*Tensor, opts ...Option) (*Tensor, *Plan, error) {
 	lhs, rhs, ok := strings.Cut(expr, "->")
 	if !ok {
-		return nil, nil, fmt.Errorf("einsum: %q has no \"->\"", expr)
+		return nil, nil, fmt.Errorf("%w: %q has no \"->\"", ErrBadExpr, expr)
 	}
 	labels := strings.Split(lhs, ",")
 	if len(labels) != len(tensors) {
-		return nil, nil, fmt.Errorf("einsum: %d operand labels for %d tensors", len(labels), len(tensors))
+		return nil, nil, fmt.Errorf("%w: %d operand labels for %d tensors", ErrBadExpr, len(labels), len(tensors))
 	}
 	if len(tensors) == 0 {
-		return nil, nil, fmt.Errorf("einsum: no operands")
+		return nil, nil, fmt.Errorf("%w: no operands", ErrBadExpr)
 	}
 	outLabels := []rune(strings.TrimSpace(rhs))
 
 	ops := make([]*netOperand, len(tensors))
+	seen := map[*Tensor]bool{}
 	for i, t := range tensors {
 		ls := []rune(strings.TrimSpace(labels[i]))
 		if len(ls) != t.Order() {
-			return nil, nil, fmt.Errorf("einsum: operand %d has %d modes but labels %q", i, t.Order(), string(ls))
+			return nil, nil, fmt.Errorf("%w: operand %d has %d modes but labels %q", ErrBadExpr, i, t.Order(), string(ls))
 		}
 		if _, err := labelPositions(ls, fmt.Sprintf("operand %d", i)); err != nil {
 			return nil, nil, err
+		}
+		if !seen[t] {
+			seen[t] = true
+			if err := t.Validate(); err != nil {
+				return nil, nil, fmt.Errorf("operand %d: %w", i, err)
+			}
 		}
 		ops[i] = &netOperand{labels: ls, tensor: t}
 	}
 	if _, err := labelPositions(outLabels, "output"); err != nil {
 		return nil, nil, err
+	}
+
+	// Per-evaluation cache of prepared operands: a tensor contracted over
+	// the same modes in several steps is linearized and sharded once.
+	type prepKey struct {
+		t     *Tensor
+		modes string
+	}
+	prepared := map[prepKey]*Sharded{}
+	preshard := func(t *Tensor, modes []int) (*Sharded, time.Duration, error) {
+		k := prepKey{t: t, modes: fmt.Sprint(modes)}
+		if s, ok := prepared[k]; ok {
+			return s, 0, nil
+		}
+		t0 := time.Now()
+		s, err := preshardValidated(t, modes)
+		if err != nil {
+			return nil, 0, err
+		}
+		prepared[k] = s
+		return s, time.Since(t0), nil
 	}
 
 	plan := &Plan{Expr: expr}
@@ -62,10 +96,22 @@ func EinsumN(expr string, tensors []*Tensor, opts ...Option) (*Tensor, *Plan, er
 			return nil, nil, err
 		}
 		a, b := ops[ai], ops[bi]
-		prod, stats, err := Contract(a.tensor, b.tensor, spec, opts...)
+		la, linA, err := preshard(a.tensor, spec.CtrLeft)
 		if err != nil {
 			return nil, nil, err
 		}
+		rb, linB, err := preshard(b.tensor, spec.CtrRight)
+		if err != nil {
+			return nil, nil, err
+		}
+		prod, stats, err := ContractPrepared(la, rb, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Attribute this step's linearization (zero on a cache hit) the way
+		// Contract would have.
+		stats.Linearize = linA + linB
+		stats.Total += stats.Linearize
 		merged := mergedLabels(a.labels, b.labels, spec)
 		plan.Steps = append(plan.Steps, PlanStep{
 			Left:   string(a.labels),
@@ -87,7 +133,7 @@ func EinsumN(expr string, tensors []*Tensor, opts ...Option) (*Tensor, *Plan, er
 	// Align the final operand's mode order with the requested output.
 	final := ops[0]
 	if len(final.labels) != len(outLabels) {
-		return nil, nil, fmt.Errorf("einsum: result has labels %q but output wants %q", string(final.labels), string(outLabels))
+		return nil, nil, fmt.Errorf("%w: result has labels %q but output wants %q", ErrBadExpr, string(final.labels), string(outLabels))
 	}
 	perm := make([]int, len(outLabels))
 	for k, lab := range outLabels {
@@ -99,7 +145,7 @@ func EinsumN(expr string, tensors []*Tensor, opts ...Option) (*Tensor, *Plan, er
 			}
 		}
 		if found < 0 {
-			return nil, nil, fmt.Errorf("einsum: output label %q not produced (result %q)", lab, string(final.labels))
+			return nil, nil, fmt.Errorf("%w: output label %q not produced (result %q)", ErrBadExpr, lab, string(final.labels))
 		}
 		perm[k] = found
 	}
@@ -160,7 +206,7 @@ func pickPair(ops []*netOperand, outLabels []rune) (ai, bi int, spec Spec, err e
 		}
 	}
 	if best == nil {
-		return 0, 0, Spec{}, fmt.Errorf("einsum: no contractible operand pair (disconnected network or three-way shared labels)")
+		return 0, 0, Spec{}, fmt.Errorf("%w: no contractible operand pair (disconnected network or three-way shared labels)", ErrBadExpr)
 	}
 	return best.a, best.b, best.spec, nil
 }
@@ -264,5 +310,3 @@ func satMul(a, b uint64) uint64 {
 	}
 	return a * b
 }
-
-var _ = coo.ErrShape

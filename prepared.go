@@ -1,0 +1,194 @@
+package fastcc
+
+import (
+	"context"
+	"time"
+
+	"fastcc/internal/coo"
+	"fastcc/internal/core"
+	"fastcc/internal/mempool"
+)
+
+// Sharded is a contraction operand prepared once and reusable across many
+// contractions: the tensor is validated and linearized at Preshard time,
+// and the per-tile input tables the engine builds from it (the paper's
+// Build phase, Algorithm 5) are cached inside the Sharded, keyed by the
+// shard-compatibility contract (tile side × input representation).
+//
+// Repeated contractions that arrive at the same tile grid — a self-
+// contraction, one tensor contracted against many partners of similar
+// shape, or any run with an explicit WithTileSize — skip Linearize and
+// Build entirely and report Stats.Build == 0 with the ShardReused flags
+// set.
+//
+// A Sharded is safe for concurrent use by multiple contractions. The
+// underlying tensor must not be mutated after Preshard: the cached tables
+// index into its value array.
+type Sharded struct {
+	t     *Tensor
+	modes []int // contracted modes, frozen at Preshard time
+	ext   []int // external modes, in original order
+	op    *core.Operand
+}
+
+// Preshard validates t and linearizes it for contraction over the given
+// modes, returning a reusable operand. The heavy per-tile build runs lazily
+// on the first contraction and is cached per tile grid; pinning the grid up
+// front with WithTileSize builds those shards eagerly (with WithThreads
+// workers), so the first contraction is already a shard hit.
+//
+// Options are validated eagerly (ErrBadOption); WithTileSize and
+// WithInputRep select the eager build, WithThreads its parallelism, and
+// other options are ignored here — pass them to the contraction instead.
+func Preshard(t *Tensor, modes []int, opts ...Option) (*Sharded, error) {
+	o, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Reuse the spec structural checks for one operand's mode list.
+	probe := Spec{CtrLeft: modes, CtrRight: modes}
+	if err := probe.ValidateModes(t.Order(), t.Order()); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := preshardValidated(t, modes)
+	if err != nil {
+		return nil, err
+	}
+	// Eager build for pinned tile grids: a later contraction using the same
+	// override lands exactly on these keys.
+	for _, tile := range []uint64{o.tileL, o.tileR} {
+		if tile != 0 {
+			s.op.Shard(core.ShardKey{Tile: tile, Rep: o.rep}, o.threads)
+		}
+	}
+	return s, nil
+}
+
+// preshardValidated wraps an already-validated tensor: linearize (the
+// paper's pre-processing step) and set up the shard cache.
+func preshardValidated(t *Tensor, modes []int) (*Sharded, error) {
+	ext := coo.ExternalModes(t.Order(), modes)
+	m, err := t.Matrixize(ext, modes)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{
+		t:     t,
+		modes: append([]int(nil), modes...),
+		ext:   ext,
+		op:    core.NewOperand(m),
+	}, nil
+}
+
+// Tensor returns the wrapped tensor (not a copy; do not mutate).
+func (s *Sharded) Tensor() *Tensor { return s.t }
+
+// Modes returns a copy of the contracted modes frozen at Preshard time.
+func (s *Sharded) Modes() []int { return append([]int(nil), s.modes...) }
+
+// ContractPrepared contracts two prepared operands: mode l.Modes()[k] of
+// the left tensor is summed against mode r.Modes()[k] of the right (the
+// Spec was frozen by the Preshard calls). Either side — or both, including
+// the same *Sharded twice for a self-contraction — reuses its cached tile
+// shard when the run's tile grid matches, reporting Stats.Build == 0 and
+// the ShardReused flags on a full hit.
+func ContractPrepared(l, r *Sharded, opts ...Option) (*Tensor, *Stats, error) {
+	o, err := resolveOptions(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := Spec{CtrLeft: l.modes, CtrRight: r.modes}
+	if err := spec.Validate(l.t, r.t); err != nil {
+		return nil, nil, err
+	}
+	return contractSharded(l, r, &o, 0)
+}
+
+// ContractContext is Contract with cooperative cancellation: ctx is checked
+// between pipeline stages and at tile-task boundaries, and a canceled run
+// returns ctx.Err() wrapped (errors.Is(err, context.Canceled) holds).
+func ContractContext(ctx context.Context, l, r *Tensor, spec Spec, opts ...Option) (*Tensor, *Stats, error) {
+	withCtx := make([]Option, 0, len(opts)+1)
+	withCtx = append(withCtx, opts...)
+	withCtx = append(withCtx, WithContext(ctx))
+	return Contract(l, r, spec, withCtx...)
+}
+
+// delinScratch recycles the de-linearization scratch buffers across calls;
+// together with the engine's output-chunk recycling this keeps repeated
+// contractions from reallocating their big flat buffers.
+var (
+	delinU64 mempool.SlicePool[uint64]
+	delinF64 mempool.SlicePool[float64]
+)
+
+// contractSharded runs the shared build/execute pipeline over two prepared
+// operands and de-linearizes the output. linearize is the time the caller
+// spent matrixizing (zero when the operands were prepared earlier — that is
+// the amortization).
+func contractSharded(l, r *Sharded, o *options, linearize time.Duration) (*Tensor, *Stats, error) {
+	st := &Stats{Linearize: linearize}
+	tStart := time.Now()
+
+	out, cst, err := core.ContractOperands(l.op, r.op, core.Config{
+		Threads:  o.threads,
+		TileL:    o.tileL,
+		TileR:    o.tileR,
+		Accum:    o.accum,
+		Platform: o.platform,
+		Counters: o.counters,
+		Rep:      o.rep,
+		Context:  o.ctx,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Decision = cst.Decision
+	st.TileL, st.TileR = cst.TileL, cst.TileR
+	st.NL, st.NR, st.Tasks = cst.NL, cst.NR, cst.Tasks
+	st.Threads = cst.Threads
+	st.OutputNNZ = cst.OutputNNZ
+	st.Build = cst.BuildTime
+	st.Contract = cst.ContractTime
+	st.Concat = cst.ConcatTime
+	st.ShardReusedL, st.ShardReusedR = cst.ShardReusedL, cst.ShardReusedR
+	st.ShardReused = cst.ShardReusedL && cst.ShardReusedR
+
+	// Post-processing: de-linearize output coordinates (timed), with the
+	// flat scratch drawn from recycled buffers.
+	t0 := time.Now()
+	n := out.Len()
+	ls := delinU64.Get(n)
+	rs := delinU64.Get(n)
+	vs := delinF64.Get(n)
+	out.ForEach(func(t core.Triple) {
+		ls = append(ls, t.L)
+		rs = append(rs, t.R)
+		vs = append(vs, t.V)
+	})
+	lDims := make([]uint64, len(l.ext))
+	for i, m := range l.ext {
+		lDims[i] = l.t.Dims[m]
+	}
+	rDims := make([]uint64, len(r.ext))
+	for i, m := range r.ext {
+		rDims[i] = r.t.Dims[m]
+	}
+	result, ferr := coo.FromPairsP(ls, rs, vs, lDims, rDims, st.Threads)
+	// FromPairsP copies everything it keeps; the triples and scratch can go
+	// straight back to their pools.
+	core.RecycleOutput(out)
+	delinU64.Put(ls)
+	delinU64.Put(rs)
+	delinF64.Put(vs)
+	if ferr != nil {
+		return nil, nil, ferr
+	}
+	st.Delinearize = time.Since(t0)
+	st.Total = linearize + time.Since(tStart)
+	st.Counters = o.counters.Snapshot()
+	return result, st, nil
+}
