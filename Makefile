@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz-smoke bench-smoke bench-reuse ci
+.PHONY: build test race vet fuzz-smoke bench-smoke bench-reuse bench-buildscale ci
 
 build:
 	$(GO) build ./...
@@ -29,12 +29,21 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParseEinsum -fuzztime=$(FUZZTIME) .
 	$(GO) test -run=^$$ -fuzz=FuzzReadTNS -fuzztime=$(FUZZTIME) ./internal/coo
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/tnsbin
+	$(GO) test -run=^$$ -fuzz=FuzzContractTiling -fuzztime=$(FUZZTIME) ./internal/core
 
 # One-iteration run of the prepared-operand reuse benchmark: exercises the
 # Preshard/ContractPrepared path end to end (the warm iterations assert
 # Stats.Build == 0 and ShardReused) without paying full benchmark time.
 bench-smoke:
 	$(GO) test -bench=Reuse -benchtime=1x -run=^$$ .
+	$(GO) run ./cmd/fastcc-bench -exp buildscale -scale-frostt 0.0005 -repeats 1 -threads 2 -platform desktop8 > /dev/null
+
+# Regenerate the checked-in BENCH_buildscale.json: Build-phase wall time
+# against the worker count at fixed nnz (must be flat or falling — the
+# partitioned build reads O(nnz) total regardless of workers), plus the
+# cold/warm contract geomeans comparable with BENCH_reuse.json.
+bench-buildscale:
+	$(GO) run ./cmd/fastcc-bench -exp buildscale -scale-frostt 0.002 -repeats 5 -threads 8 -platform desktop8 > BENCH_buildscale.json
 
 # Regenerate the checked-in BENCH_reuse.json (cold vs warm comparison on
 # the FROSTT suite at benchmark scale).

@@ -78,6 +78,9 @@ type Stats struct {
 	TileL, TileR uint64
 	// NL, NR are the tile-grid dimensions; Tasks the executed tile pairs.
 	NL, NR, Tasks int
+	// BlockL, BlockR are the LLC super-block sides (in non-empty tiles) of
+	// the contract schedule; Blocks is the block-task count workers claimed.
+	BlockL, BlockR, Blocks int
 	// Threads is the worker count used.
 	Threads int
 	// OutputNNZ is the number of nonzeros in the output.
@@ -115,9 +118,9 @@ func (s *Stats) String() string {
 		reuse = " shards=reusedR"
 	}
 	return fmt.Sprintf(
-		"fastcc: accumulator=%s tile=%dx%d grid=%dx%d tasks=%d threads=%d out_nnz=%d%s\n"+
+		"fastcc: accumulator=%s tile=%dx%d grid=%dx%d tasks=%d block=%dx%d threads=%d out_nnz=%d%s\n"+
 			"fastcc: total=%v (linearize=%v build=%v contract=%v concat=%v delinearize=%v)",
-		s.Decision.Kind, s.TileL, s.TileR, s.NL, s.NR, s.Tasks, s.Threads, s.OutputNNZ, reuse,
+		s.Decision.Kind, s.TileL, s.TileR, s.NL, s.NR, s.Tasks, s.BlockL, s.BlockR, s.Threads, s.OutputNNZ, reuse,
 		s.Total, s.Linearize, s.Build, s.Contract, s.Concat, s.Delinearize)
 }
 

@@ -1,0 +1,180 @@
+package coo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPartitionMatrix(rng *rand.Rand, extDim, ctrDim uint64, nnz int) *Matrix {
+	m := &Matrix{ExtDim: extDim, CtrDim: ctrDim}
+	for i := 0; i < nnz; i++ {
+		m.Ext = append(m.Ext, rng.Uint64()%extDim)
+		m.Ctr = append(m.Ctr, rng.Uint64()%ctrDim)
+		m.Val = append(m.Val, float64(rng.Intn(9)-4))
+	}
+	return m
+}
+
+// checkPartition verifies the partition invariants against the source
+// matrix: segment sizes match per-tile counts, every entry maps back to a
+// source nonzero of that tile, and the original nonzero order is preserved
+// within each tile.
+func checkPartition(t *testing.T, m *Matrix, tile uint64, p *TilePartition) {
+	t.Helper()
+	wantTiles := int((m.ExtDim + tile - 1) / tile)
+	if p.Tiles != wantTiles || len(p.Offs) != wantTiles+1 {
+		t.Fatalf("tiles=%d offs=%d want %d", p.Tiles, len(p.Offs), wantTiles)
+	}
+	if p.Offs[0] != 0 || p.Offs[wantTiles] != m.NNZ() {
+		t.Fatalf("offs bounds [%d, %d] want [0, %d]", p.Offs[0], p.Offs[wantTiles], m.NNZ())
+	}
+	// Reconstruct each tile's expected entry sequence by a serial filter
+	// pass (the seed's scan order) and compare 1:1.
+	type entry struct {
+		ctr   uint64
+		intra uint32
+		val   float64
+	}
+	want := make([][]entry, wantTiles)
+	for k := 0; k < m.NNZ(); k++ {
+		i := int(m.Ext[k] / tile)
+		want[i] = append(want[i], entry{m.Ctr[k], uint32(m.Ext[k] - uint64(i)*tile), m.Val[k]})
+	}
+	for i := 0; i < wantTiles; i++ {
+		lo, hi := p.Offs[i], p.Offs[i+1]
+		if hi-lo != len(want[i]) {
+			t.Fatalf("tile %d has %d entries want %d", i, hi-lo, len(want[i]))
+		}
+		for k := lo; k < hi; k++ {
+			w := want[i][k-lo]
+			if p.Ctr[k] != w.ctr || p.Intra[k] != w.intra || p.Val[k] != w.val {
+				t.Fatalf("tile %d entry %d = (%d,%d,%g) want (%d,%d,%g)",
+					i, k-lo, p.Ctr[k], p.Intra[k], p.Val[k], w.ctr, w.intra, w.val)
+			}
+		}
+	}
+	// NonEmpty must list exactly the tiles with entries, ascending.
+	ne := p.NonEmpty()
+	j := 0
+	for i := 0; i < wantTiles; i++ {
+		if len(want[i]) > 0 {
+			if j >= len(ne) || ne[j] != i {
+				t.Fatalf("NonEmpty missing tile %d: %v", i, ne)
+			}
+			j++
+		}
+	}
+	if j != len(ne) {
+		t.Fatalf("NonEmpty has %d extra entries: %v", len(ne)-j, ne)
+	}
+}
+
+func TestPartitionByTileBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		extDim, ctrDim uint64
+		tile           uint64
+		nnz            int
+	}{
+		{100, 7, 32, 500},    // pow2 tile, ragged last
+		{100, 7, 30, 500},    // non-pow2 tile
+		{64, 5, 64, 200},     // single tile
+		{64, 5, 1, 200},      // degenerate 1-wide tiles
+		{10, 3, 1 << 12, 30}, // tile larger than extent
+		{97, 13, 30, 0},      // empty matrix
+	} {
+		m := randomPartitionMatrix(rng, tc.extDim, tc.ctrDim, tc.nnz)
+		p := PartitionByTile(m, tc.tile, 4)
+		checkPartition(t, m, tc.tile, p)
+		p.Release()
+	}
+}
+
+func TestPartitionOrderIndependentOfWorkers(t *testing.T) {
+	// The scatter must preserve global nonzero order within each tile for
+	// ANY worker count — downstream hash builds rely on identical insertion
+	// order for bit-identical tables.
+	rng := rand.New(rand.NewSource(2))
+	m := randomPartitionMatrix(rng, 300, 20, 50000)
+	ref := PartitionByTile(m, 32, 1)
+	defer ref.Release()
+	for _, workers := range []int{2, 3, 8, 64} {
+		p := PartitionByTile(m, 32, workers)
+		if len(p.Ctr) != len(ref.Ctr) {
+			t.Fatalf("workers=%d: arena length %d want %d", workers, len(p.Ctr), len(ref.Ctr))
+		}
+		for k := range ref.Ctr {
+			if p.Ctr[k] != ref.Ctr[k] || p.Intra[k] != ref.Intra[k] || p.Val[k] != ref.Val[k] {
+				t.Fatalf("workers=%d: entry %d differs from serial partition", workers, k)
+			}
+		}
+		for i := range ref.Offs {
+			if p.Offs[i] != ref.Offs[i] {
+				t.Fatalf("workers=%d: offs[%d]=%d want %d", workers, i, p.Offs[i], ref.Offs[i])
+			}
+		}
+		p.Release()
+	}
+}
+
+func TestPartitionArenaReuse(t *testing.T) {
+	// Release parks the arenas; the next partition of comparable size must
+	// not corrupt results (the arenas are fully overwritten).
+	rng := rand.New(rand.NewSource(3))
+	a := randomPartitionMatrix(rng, 128, 9, 3000)
+	b := randomPartitionMatrix(rng, 90, 11, 2500)
+	pa := PartitionByTile(a, 16, 3)
+	checkPartition(t, a, 16, pa)
+	pa.Release()
+	pb := PartitionByTile(b, 30, 3)
+	checkPartition(t, b, 30, pb)
+	pb.Release()
+}
+
+func TestPartitionWorkersBounds(t *testing.T) {
+	if w := partitionWorkers(8, 10, 1<<20); w != 8 {
+		t.Fatalf("normal case: %d", w)
+	}
+	if w := partitionWorkers(8, 10, 100); w != 1 {
+		t.Fatalf("tiny input should go serial: %d", w)
+	}
+	if w := partitionWorkers(64, partitionGridCap, 1<<20); w != 1 {
+		t.Fatalf("huge grid should clamp to 1: %d", w)
+	}
+	if w := partitionWorkers(0, 10, 1<<20); w != 1 {
+		t.Fatalf("zero workers: %d", w)
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		extDim := uint64(rng.Intn(200) + 1)
+		ctrDim := uint64(rng.Intn(40) + 1)
+		tile := uint64(rng.Intn(70) + 1)
+		m := randomPartitionMatrix(rng, extDim, ctrDim, rng.Intn(400))
+		p := PartitionByTile(m, tile, rng.Intn(6)+1)
+		defer p.Release()
+		// Totals and round-trip: every tile segment's entries map back into
+		// the tile's extent range.
+		total := 0
+		for i := 0; i < p.Tiles; i++ {
+			lo, hi := p.Offs[i], p.Offs[i+1]
+			if hi < lo {
+				return false
+			}
+			total += hi - lo
+			for k := lo; k < hi; k++ {
+				ext := uint64(i)*tile + uint64(p.Intra[k])
+				if ext >= extDim {
+					return false
+				}
+			}
+		}
+		return total == m.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -74,6 +74,11 @@ type Stats struct {
 	// Tasks is the number of tile-tile contractions executed (pairs of
 	// nonempty input tiles).
 	Tasks int
+	// BlockL, BlockR are the LLC super-block sides (in non-empty tiles) the
+	// contract schedule used; Blocks is the resulting block-task count. A
+	// worker claims whole blocks and walks them L-outer/R-inner, so each
+	// R panel is fetched from DRAM once and reused BlockL times.
+	BlockL, BlockR, Blocks int
 	// OutputNNZ is the number of output nonzeros produced.
 	OutputNNZ int
 	// ShardReusedL/ShardReusedR report that the operand's tile shard was
@@ -239,15 +244,33 @@ func execute(ls, rs *Shard, dec model.Decision, threads int, cfg Config, st *Sta
 	tl, tr := dec.TileL, dec.TileR
 	nonEmptyL := ls.NonEmpty()
 	nonEmptyR := rs.NonEmpty()
-	tasks := len(nonEmptyL) * len(nonEmptyR)
-	st.Tasks = tasks
+	nL, nR := len(nonEmptyL), len(nonEmptyR)
+	st.Tasks = nL * nR
 
 	t0 := time.Now()
 	pools := make([]*mempool.Pool[Triple], threads)
 	workers := make([]*worker, threads)
 	wkey := accKey{kind: dec.Kind, tl: tl, tr: tr}
 	sparseHint := tileNNZHint(dec, tl, tr)
-	err := scheduler.PoolCtx(cfg.ctx(), threads, tasks, func(w, task int) {
+
+	// LLC-blocked schedule: the nL×nR task grid is cut into BL×BR
+	// super-blocks sized so one block's input panels fit in a worker share
+	// of the last-level cache (model.BlockShape). Workers claim whole blocks
+	// — batched on the atomic ticket once blocks are plentiful — and walk
+	// each block L-outer/R-inner, so a BR-tile R panel is streamed from DRAM
+	// once and reused BL times from cache. The unblocked schedule this
+	// replaces walked the grid i-major, re-streaming the entire R shard
+	// through the LLC for every L tile.
+	bl, br := model.BlockShape(cfg.Platform, ls.TileBytes(), rs.TileBytes(), nL, nR, threads)
+	nbR := 0
+	blocksTotal := 0
+	if nL > 0 && nR > 0 {
+		nbR = (nR + br - 1) / br
+		blocksTotal = (nL + bl - 1) / bl * nbR
+	}
+	st.BlockL, st.BlockR, st.Blocks = bl, br, blocksTotal
+	ctx := cfg.ctx()
+	err := scheduler.PoolCtxBatch(ctx, threads, blocksTotal, scheduler.ClaimBatch(blocksTotal, threads), func(w, b int) {
 		wk := workers[w]
 		if wk == nil {
 			if parked, ok := workerFree.Get(wkey); ok {
@@ -258,12 +281,31 @@ func execute(ls, rs *Shard, dec model.Decision, threads int, cfg Config, st *Sta
 			workers[w] = wk
 			pools[w] = outputChunks.NewPool()
 		}
-		i := nonEmptyL[task/len(nonEmptyR)]
-		j := nonEmptyR[task%len(nonEmptyR)]
-		if cfg.Rep == RepSorted {
-			contractTilePairSorted(ls.sorted[i], rs.sorted[j], uint64(i)*tl, uint64(j)*tr, wk, pools[w], cfg.Counters)
-		} else {
-			contractTilePair(ls.hash[i], rs.hash[j], uint64(i)*tl, uint64(j)*tr, wk, pools[w], cfg.Counters)
+		bi, bj := b/nbR, b%nbR
+		iEnd, jEnd := (bi+1)*bl, (bj+1)*br
+		if iEnd > nL {
+			iEnd = nL
+		}
+		if jEnd > nR {
+			jEnd = nR
+		}
+		for ii := bi * bl; ii < iEnd; ii++ {
+			i := nonEmptyL[ii]
+			baseL := uint64(i) * tl
+			for jj := bj * br; jj < jEnd; jj++ {
+				// Cancellation is observed at tile-task boundaries even
+				// inside a block, matching the batched claim's latency of
+				// one task, not one block.
+				if ctx.Err() != nil {
+					return
+				}
+				j := nonEmptyR[jj]
+				if cfg.Rep == RepSorted {
+					contractTilePairSorted(ls.sorted[i], rs.sorted[j], baseL, uint64(j)*tr, wk, pools[w], cfg.Counters)
+				} else {
+					contractTilePair(ls.sealed[i], rs.sealed[j], baseL, uint64(j)*tr, wk, pools[w], cfg.Counters)
+				}
+			}
 		}
 	})
 	// Accumulators drain at the end of every task, so canceled or not they

@@ -9,10 +9,11 @@ import (
 )
 
 // Operand wraps a matrixized contraction operand together with a cache of
-// built tile shards. Building a shard — scanning the operand and bucketing
-// its nonzeros into per-tile hash tables or sorted groups — is the paper's
-// Build phase (Algorithm 5, Section 4.2); caching it by ShardKey lets
-// repeated contractions over the same operand skip that phase entirely.
+// built tile shards. Building a shard — partitioning the operand into
+// per-tile segments and constructing per-tile hash tables or sorted groups
+// over them — is the paper's Build phase (Algorithm 5, Section 4.2); caching
+// it by ShardKey lets repeated contractions over the same operand skip that
+// phase entirely.
 //
 // An Operand is safe for concurrent use: multiple contractions may share
 // one, and a shard needed by several of them at once is built exactly once
@@ -47,9 +48,11 @@ type ShardKey struct {
 type Shard struct {
 	Key ShardKey
 
-	hash     []*hashtable.SliceTable // RepHash tiles (nil entries are empty)
-	sorted   []*sortedTile           // RepSorted tiles
-	nonEmpty []int                   // indices of tiles with at least one nonzero
+	sealed   []*hashtable.Sealed // RepHash tiles (nil entries are empty)
+	sorted   []*sortedTile       // RepSorted tiles
+	nonEmpty []int               // indices of tiles with at least one nonzero
+	pairs    int                 // total nonzeros across all tiles
+	keys     int                 // total distinct contraction keys across tiles
 
 	built chan struct{} // closed when the build completes
 }
@@ -60,11 +63,34 @@ func (s *Shard) Tiles() int {
 	if s.Key.Rep == RepSorted {
 		return len(s.sorted)
 	}
-	return len(s.hash)
+	return len(s.sealed)
 }
 
-// NonEmpty returns the indices of nonempty tiles (read-only).
+// NonEmpty returns the indices of nonempty tiles (read-only), cached at
+// build time straight from the partition offsets so the contract schedule
+// never rescans the tile array.
 func (s *Shard) NonEmpty() []int { return s.nonEmpty }
+
+// Pairs returns the shard's total nonzero count.
+func (s *Shard) Pairs() int { return s.pairs }
+
+// TileBytes estimates the average in-memory footprint of one non-empty tile,
+// the per-panel term of the LLC block-shape choice. The per-key constant
+// covers the dense key, its span, and the (load-factor-padded, power-of-two)
+// slot arrays of the sealed form; the sorted form is smaller, but the
+// estimate only has to be the right order of magnitude for blocking.
+func (s *Shard) TileBytes() int64 {
+	ne := len(s.nonEmpty)
+	if ne == 0 {
+		return 1
+	}
+	const pairBytes, keyBytes = 16, 48
+	b := (int64(s.pairs)*pairBytes + int64(s.keys)*keyBytes) / int64(ne)
+	if b < 1 {
+		return 1
+	}
+	return b
+}
 
 // Shard returns the built shard for key, building it with `threads` workers
 // on a miss. The second result reports whether this call performed the
@@ -99,25 +125,39 @@ func (o *Operand) Cached(key ShardKey) bool {
 	case <-s.built:
 		return true
 	default:
-		return false
 	}
+	return false
 }
 
-// build runs the Build phase for this shard: each worker owns the tiles i
-// with i % workers == w (the paper's thread-local construction scheme).
+// build runs the Build phase for this shard as a two-stage pipeline: first
+// the operand is regrouped tile-major by the two-pass parallel partition
+// (each nonzero read exactly twice, independent of the worker count), then
+// each worker constructs the tables of the non-empty tiles it owns (idx mod
+// workers == w over the non-empty list) reading only its own contiguous
+// segments. Against the seed's scan-and-filter scheme — every worker
+// scanning the whole operand — total Build reads drop from
+// O(workers × nnz) to O(nnz).
 func (s *Shard) build(m *coo.Matrix, threads int) {
-	n := int((m.ExtDim + s.Key.Tile - 1) / s.Key.Tile)
+	part := coo.PartitionByTile(m, s.Key.Tile, threads)
+	s.nonEmpty = part.NonEmpty()
+	s.pairs = m.NNZ()
+	n := part.Tiles
 	if s.Key.Rep == RepSorted {
 		s.sorted = make([]*sortedTile, n)
 		scheduler.Static(threads, func(w, size int) {
-			buildSortedTileTables(s.sorted, m, s.Key.Tile, w, size)
+			buildSortedTiles(s.sorted, part, w, size)
 		})
-		s.nonEmpty = nonEmptySorted(s.sorted)
+		for _, i := range s.nonEmpty {
+			s.keys += len(s.sorted[i].keys)
+		}
 	} else {
-		s.hash = make([]*hashtable.SliceTable, n)
+		s.sealed = make([]*hashtable.Sealed, n)
 		scheduler.Static(threads, func(w, size int) {
-			buildTileTables(s.hash, m, s.Key.Tile, w, size)
+			buildSealedTiles(s.sealed, part, m.CtrDim, w, size)
 		})
-		s.nonEmpty = nonEmptyTiles(s.hash)
+		for _, i := range s.nonEmpty {
+			s.keys += s.sealed[i].Len()
+		}
 	}
+	part.Release()
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math/bits"
-
 	"fastcc/internal/accum"
 	"fastcc/internal/coo"
 	"fastcc/internal/hashtable"
@@ -42,79 +40,38 @@ type sortedTile struct {
 	pairs []hashtable.Pair
 }
 
-// rawTile accumulates a tile's nonzeros during the scan, before sorting.
-type rawTile struct {
-	cs    []uint64
-	pairs []hashtable.Pair
-}
-
-// buildSortedTileTables is the RepSorted analogue of buildTileTables:
-// worker w gathers the nonzeros of its owned tiles, then radix-sorts each
-// tile by contraction index and compresses runs into the CSR form.
-func buildSortedTileTables(tables []*sortedTile, m *coo.Matrix, tile uint64, w, teamSize int) {
-	nnz := m.NNZ()
-	raws := make([]*rawTile, len(tables))
-	shift := -1
-	if tile&(tile-1) == 0 {
-		shift = bits.TrailingZeros64(tile)
-	}
-	mask := tile - 1
-	for k := 0; k < nnz; k++ {
-		ext := m.Ext[k]
-		var i int
-		var intra uint32
-		if shift >= 0 {
-			i = int(ext >> shift)
-			intra = uint32(ext & mask)
-		} else {
-			i = int(ext / tile)
-			intra = uint32(ext - uint64(i)*tile)
-		}
-		if i%teamSize != w {
-			continue
-		}
-		rt := raws[i]
-		if rt == nil {
-			rt = &rawTile{}
-			raws[i] = rt
-		}
-		rt.cs = append(rt.cs, m.Ctr[k])
-		rt.pairs = append(rt.pairs, hashtable.Pair{Idx: intra, Val: m.Val[k]})
-	}
-	for i, rt := range raws {
-		if rt == nil {
-			continue
-		}
-		perm := make([]uint32, len(rt.cs))
+// buildSortedTiles is the RepSorted analogue of buildSealedTiles: worker w
+// radix-sorts the partition segments of its owned non-empty tiles by
+// contraction index (in place — the partition arenas are consumed by the
+// build and released afterwards) and compresses the runs into CSR form.
+// The seed's gather-into-rawTile copy is gone: the partition already
+// delivers each tile's nonzeros contiguously.
+func buildSortedTiles(tables []*sortedTile, part *coo.TilePartition, w, teamSize int) {
+	ne := part.NonEmpty()
+	for idx := w; idx < len(ne); idx += teamSize {
+		i := ne[idx]
+		lo, hi := part.Offs[i], part.Offs[i+1]
+		n := hi - lo
+		cs := part.Ctr[lo:hi]
+		perm := make([]uint32, n)
 		for j := range perm {
 			perm[j] = uint32(j)
 		}
 		// Per-tile sorts run inside an already-parallel team: one worker.
-		radix.SortWithPerm(rt.cs, perm, 1)
-		st := &sortedTile{pairs: make([]hashtable.Pair, len(rt.pairs))}
+		radix.SortWithPerm(cs, perm, 1)
+		st := &sortedTile{pairs: make([]hashtable.Pair, n)}
 		for p, orig := range perm {
-			st.pairs[p] = rt.pairs[orig]
+			st.pairs[p] = hashtable.Pair{Idx: part.Intra[lo+int(orig)], Val: part.Val[lo+int(orig)]}
 		}
-		for j, c := range rt.cs {
-			if j == 0 || c != rt.cs[j-1] {
+		for j, c := range cs {
+			if j == 0 || c != cs[j-1] {
 				st.keys = append(st.keys, c)
 				st.offs = append(st.offs, int32(j))
 			}
 		}
-		st.offs = append(st.offs, int32(len(rt.cs)))
+		st.offs = append(st.offs, int32(n))
 		tables[i] = st
 	}
-}
-
-// nonEmptySorted lists tiles holding at least one nonzero.
-func nonEmptySorted(tables []*sortedTile) []int {
-	out := make([]int, 0, len(tables))
-	for i, t := range tables {
-		if t != nil && len(t.keys) > 0 {
-			out = append(out, i)
-		}
-	}
-	return out
 }
 
 // contractTilePairSorted computes one output tile by merging the two

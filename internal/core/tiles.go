@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math/bits"
-
 	"fastcc/internal/accum"
 	"fastcc/internal/coo"
 	"fastcc/internal/hashtable"
@@ -39,67 +37,41 @@ func tileNNZHint(dec model.Decision, tl, tr uint64) int {
 	}
 }
 
-// buildTileTables builds the per-tile hash tables this worker owns
-// (ownership i mod teamSize == w) by scanning the whole operand and
-// filtering — the paper's thread-local construction scheme. Workers write
-// disjoint slots of tables, so no synchronization is needed beyond the
-// team barrier.
+// buildSealedTiles builds and seals the hash tables of the non-empty tiles
+// this worker owns (idx mod teamSize == w over the partition's non-empty
+// list). Each tile's nonzeros sit in a contiguous partition segment, so a
+// worker reads only the bytes of its own tiles — no scan-and-filter over
+// the whole operand. The mutable table is sized from the model's
+// distinct-key estimate (its hint is a KEY count, not a pair count) and
+// sealed into the read-only SoA form the contract phase iterates.
+//
+// Workers write disjoint slots of tables, so no synchronization is needed
+// beyond the team barrier.
 //
 //fastcc:hotpath
-func buildTileTables(tables []*hashtable.SliceTable, m *coo.Matrix, tile uint64, w, teamSize int) {
-	nnz := m.NNZ()
-	hint := 0
-	if len(tables) > 0 {
-		hint = nnz / len(tables)
-	}
-	// Tile sides are powers of two whenever the model chose them; replace
-	// the division in the hot filter loop with a shift in that case.
-	shift := -1
-	if tile&(tile-1) == 0 {
-		shift = bits.TrailingZeros64(tile)
-	}
-	mask := tile - 1
-	for k := 0; k < nnz; k++ {
-		ext := m.Ext[k]
-		var i int
-		var intra uint32
-		if shift >= 0 {
-			i = int(ext >> shift)
-			intra = uint32(ext & mask)
-		} else {
-			i = int(ext / tile)
-			intra = uint32(ext - uint64(i)*tile)
+func buildSealedTiles(tables []*hashtable.Sealed, part *coo.TilePartition, ctrDim uint64, w, teamSize int) {
+	ne := part.NonEmpty()
+	for idx := w; idx < len(ne); idx += teamSize {
+		i := ne[idx]
+		lo, hi := part.Offs[i], part.Offs[i+1]
+		t := hashtable.NewSliceTable(model.ExpectedDistinctKeys(hi-lo, ctrDim))
+		for k := lo; k < hi; k++ {
+			t.Insert(part.Ctr[k], part.Intra[k], part.Val[k])
 		}
-		if i%teamSize != w {
-			continue
-		}
-		t := tables[i]
-		if t == nil {
-			t = hashtable.NewSliceTable(hint)
-			tables[i] = t
-		}
-		t.Insert(m.Ctr[k], intra, m.Val[k])
+		tables[i] = t.Seal()
 	}
-}
-
-// nonEmptyTiles lists the indices of tiles holding at least one nonzero.
-func nonEmptyTiles(tables []*hashtable.SliceTable) []int {
-	out := make([]int, 0, len(tables))
-	for i, t := range tables {
-		if t != nil && t.Len() > 0 {
-			out = append(out, i)
-		}
-	}
-	return out
 }
 
 // contractTilePair computes one output tile (Algorithm 6): co-iterate the
 // contraction keys of the two input tiles, form the outer product of the
 // matching slices into the worker's accumulator, then drain to the
-// worker-local COO list with global coordinates restored.
+// worker-local COO list with global coordinates restored. The sealed
+// tables' dense cursor (KeyAt/PairsAt) replaces the seed's ForEach closure:
+// the key sweep is a linear walk of two flat arrays with no per-key
+// indirection or callback.
 //
 //fastcc:hotpath
-func contractTilePair(hl, hr *hashtable.SliceTable, baseL, baseR uint64,
+func contractTilePair(hl, hr *hashtable.Sealed, baseL, baseR uint64,
 	wk *worker, pool *mempool.Pool[Triple], ctr *metrics.Counters) {
 
 	// Iterate the table with fewer distinct keys and probe the other: the
@@ -116,12 +88,14 @@ func contractTilePair(hl, hr *hashtable.SliceTable, baseL, baseR uint64,
 	// the interface call would otherwise sit on every multiply-accumulate.
 	dense, _ := wk.acc.(*accum.Dense)
 	sparse, _ := wk.acc.(*accum.Sparse)
-	iter.ForEach(func(c uint64, ips []hashtable.Pair) { //fastcc:allow hotalloc -- one closure per tile task, outside the per-update loops
+	n := iter.Len()
+	for di := 0; di < n; di++ {
 		queries++
-		pps := probeInto.Lookup(c)
+		pps := probeInto.Lookup(iter.KeyAt(di))
 		if pps == nil {
-			return
+			continue
 		}
+		ips := iter.PairsAt(di)
 		volume += int64(len(ips)) + int64(len(pps))
 		updates += int64(len(ips)) * int64(len(pps))
 		lps, rps := ips, pps
@@ -153,7 +127,7 @@ func contractTilePair(hl, hr *hashtable.SliceTable, baseL, baseR uint64,
 				}
 			}
 		}
-	})
+	}
 	ctr.AddQueries(queries)
 	ctr.AddVolume(volume)
 	ctr.AddUpdates(updates)

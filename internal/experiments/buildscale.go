@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"fastcc"
+)
+
+// BuildScalePoint is one (thread count, build time) sample of the Build
+// phase scaling sweep.
+type BuildScalePoint struct {
+	Threads      int     `json:"threads"`
+	BuildSeconds float64 `json:"build_seconds"`
+}
+
+// BuildScaleCase is one contraction's build-scaling ladder plus its
+// cold/warm contract comparison at the full thread count.
+type BuildScaleCase struct {
+	Case string `json:"case"`
+	NNZ  int    `json:"nnz"`
+	// Points is the thread ladder (1, 2, 4, ... max). Under the seed's
+	// scan-and-filter build, BuildSeconds grew with the thread count (total
+	// reads O(workers x nnz)); the partitioned build must hold it flat or
+	// falling at fixed nnz.
+	Points []BuildScalePoint `json:"points"`
+	// BuildSpeedupAtMax is build(1 thread) / build(max threads): >= 1 means
+	// adding workers no longer makes the Build phase slower.
+	BuildSpeedupAtMax float64 `json:"build_speedup_at_max"`
+	// ColdSeconds is a full fastcc.Contract (linearize + build + contract);
+	// WarmSeconds is ContractPrepared over cached shards (contract only).
+	ColdSeconds      float64 `json:"cold_seconds"`
+	WarmSeconds      float64 `json:"warm_seconds"`
+	WarmBuildSeconds float64 `json:"warm_build_seconds"`
+	ShardReused      bool    `json:"shard_reused"`
+}
+
+// BuildScaleReport is the full experiment output, serialized into
+// BENCH_buildscale.json.
+type BuildScaleReport struct {
+	MaxThreads          int              `json:"max_threads"`
+	Cases               []BuildScaleCase `json:"cases"`
+	GeomeanBuildSpeedup float64          `json:"geomean_build_speedup"`
+	GeomeanColdSeconds  float64          `json:"geomean_cold_seconds"`
+	GeomeanWarmSeconds  float64          `json:"geomean_warm_seconds"`
+}
+
+// buildScaleLadder returns the thread counts to sweep: powers of two up to
+// max, with max itself always included.
+func buildScaleLadder(max int) []int {
+	var ladder []int
+	for th := 1; th < max; th *= 2 {
+		ladder = append(ladder, th)
+	}
+	return append(ladder, max)
+}
+
+// RunBuildScale measures the Build phase against the worker count at fixed
+// nnz — the acceptance check for the partitioned build, whose total read
+// volume is O(nnz) regardless of workers, where the seed's scan-and-filter
+// build read O(workers x nnz) and slowed down as cores were added — plus
+// the cold/warm contract comparison at full thread count (the warm geomean
+// guards against a contract-phase regression relative to BENCH_reuse.json).
+func RunBuildScale(cfg Config) error {
+	max := cfg.Threads
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	ladder := buildScaleLadder(max)
+
+	report := BuildScaleReport{MaxThreads: max}
+	logBuild, logCold, logWarm := 0.0, 0.0, 0.0
+	n := 0
+	for _, cs := range Catalog() {
+		if cs.Suite != "frostt" {
+			continue
+		}
+		l, r, spec, err := cs.Load(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := measureBuildScale(cfg, cs.ID, ladder, l, r, spec)
+		if err != nil {
+			return fmt.Errorf("buildscale %s: %w", cs.ID, err)
+		}
+		report.Cases = append(report.Cases, res)
+		if res.BuildSpeedupAtMax > 0 && res.ColdSeconds > 0 && res.WarmSeconds > 0 {
+			logBuild += math.Log(res.BuildSpeedupAtMax)
+			logCold += math.Log(res.ColdSeconds)
+			logWarm += math.Log(res.WarmSeconds)
+			n++
+		}
+	}
+	if n > 0 {
+		report.GeomeanBuildSpeedup = math.Exp(logBuild / float64(n))
+		report.GeomeanColdSeconds = math.Exp(logCold / float64(n))
+		report.GeomeanWarmSeconds = math.Exp(logWarm / float64(n))
+	}
+	enc := json.NewEncoder(cfg.writer())
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+func measureBuildScale(cfg Config, id string, ladder []int, l, r *fastcc.Tensor, spec fastcc.Spec) (BuildScaleCase, error) {
+	res := BuildScaleCase{Case: id, NNZ: l.NNZ()}
+
+	// Build ladder: a fresh Preshard per repeat (the shard cache would
+	// otherwise absorb every measurement after the first); the first
+	// prepared contraction reports the lazily built shard's Stats.Build.
+	for _, th := range ladder {
+		opts := []fastcc.Option{fastcc.WithThreads(th), fastcc.WithPlatform(cfg.Platform)}
+		best := time.Duration(0)
+		for i := 0; i < cfg.repeats(); i++ {
+			ls, err := fastcc.Preshard(l, spec.CtrLeft, opts...)
+			if err != nil {
+				return res, err
+			}
+			rs := ls
+			if r != l {
+				if rs, err = fastcc.Preshard(r, spec.CtrRight, opts...); err != nil {
+					return res, err
+				}
+			}
+			_, st, err := fastcc.ContractPrepared(ls, rs, opts...)
+			if err != nil {
+				return res, err
+			}
+			if st.Build <= 0 {
+				return res, fmt.Errorf("cold prepared run reported no build time: %+v", st)
+			}
+			if i == 0 || st.Build < best {
+				best = st.Build
+			}
+		}
+		res.Points = append(res.Points, BuildScalePoint{Threads: th, BuildSeconds: best.Seconds()})
+	}
+	if first, last := res.Points[0].BuildSeconds, res.Points[len(res.Points)-1].BuildSeconds; last > 0 {
+		res.BuildSpeedupAtMax = first / last
+	}
+
+	// Cold/warm comparison at full thread count, mirroring the reuse
+	// experiment so the two artifacts stay comparable.
+	opts := fastccOpts(cfg)
+	cold, err := timeIt(cfg, func() error {
+		_, _, err := fastcc.Contract(l, r, spec, opts...)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	ls, err := fastcc.Preshard(l, spec.CtrLeft, opts...)
+	if err != nil {
+		return res, err
+	}
+	rs := ls
+	if r != l {
+		if rs, err = fastcc.Preshard(r, spec.CtrRight, opts...); err != nil {
+			return res, err
+		}
+	}
+	if _, _, err := fastcc.ContractPrepared(ls, rs, opts...); err != nil {
+		return res, err
+	}
+	warm := time.Duration(0)
+	var warmStats *fastcc.Stats
+	for i := 0; i < cfg.repeats(); i++ {
+		t0 := time.Now()
+		_, st, err := fastcc.ContractPrepared(ls, rs, opts...)
+		if err != nil {
+			return res, err
+		}
+		if d := time.Since(t0); i == 0 || d < warm {
+			warm, warmStats = d, st
+		}
+	}
+	res.ColdSeconds = cold.Seconds()
+	res.WarmSeconds = warm.Seconds()
+	res.WarmBuildSeconds = warmStats.Build.Seconds()
+	res.ShardReused = warmStats.ShardReused
+	if !warmStats.ShardReused || warmStats.Build != 0 {
+		return res, fmt.Errorf("warm run did not hit the shard cache: %+v", warmStats)
+	}
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package hashtable
+
+// Span bounds one key's pair run inside a Sealed table's arena.
+type Span struct {
+	Off int32
+	Len int32
+}
+
+// Sealed is the read-only SoA form of a SliceTable: one contiguous []Pair
+// arena with per-key {off, len} spans in place of the mutable table's
+// [][]Pair double indirection. Sealing happens once at the end of the Build
+// phase; the Contract phase then co-iterates sealed tables with a flat
+// cursor (KeyAt/PairsAt over dense indices) instead of a ForEach closure,
+// and every Lookup resolves to a span into the arena — no per-key slice
+// headers scattered across the heap, no pointer chase per probe.
+//
+// Immutable after Seal, so concurrent contractions read it without locks.
+type Sealed struct {
+	mask uint64
+	// slotKeys/slotIdx are the open-addressing slot arrays (stolen from the
+	// sealed SliceTable — sealing allocates no new slot storage); slotIdx
+	// maps a slot to a dense key index or sliceEmptySlot.
+	slotKeys []uint64
+	slotIdx  []int32
+	// keys/spans are dense, indexed by insertion order; pairs is the arena.
+	keys  []uint64
+	spans []Span
+	pairs []Pair
+}
+
+// Seal converts the table into its read-only SoA form. The pair lists are
+// copied once into a contiguous arena sized exactly Pairs(); the slot
+// arrays are reused as the sealed lookup index. The SliceTable must not be
+// used afterwards: its per-key lists are released for the GC and its slot
+// arrays now belong to the sealed table.
+func (t *SliceTable) Seal() *Sealed {
+	s := &Sealed{
+		mask:     t.mask,
+		slotKeys: t.keys,
+		slotIdx:  t.listIdx,
+		keys:     make([]uint64, len(t.lists)),
+		spans:    make([]Span, len(t.lists)),
+		pairs:    make([]Pair, 0, t.pairs),
+	}
+	// Dense index li was assigned in key-insertion order; recover each
+	// key's value from its slot so cursor iteration follows that order.
+	for slot, li := range t.listIdx {
+		if li != sliceEmptySlot {
+			s.keys[li] = t.keys[slot]
+		}
+	}
+	for li, ps := range t.lists {
+		s.spans[li] = Span{Off: int32(len(s.pairs)), Len: int32(len(ps))}
+		s.pairs = append(s.pairs, ps...)
+		t.lists[li] = nil // release the mutable list for the GC as we go
+	}
+	t.lists = nil
+	t.keys = nil
+	t.listIdx = nil
+	return s
+}
+
+// Len returns the number of distinct keys.
+func (s *Sealed) Len() int { return len(s.keys) }
+
+// Pairs returns the total number of stored (key, pair) entries.
+func (s *Sealed) Pairs() int { return len(s.pairs) }
+
+// Slots returns the open-addressing slot count (footprint introspection).
+func (s *Sealed) Slots() int { return len(s.slotKeys) }
+
+// KeyAt returns the dense index i's key (0 <= i < Len()), in insertion
+// order — the cursor side of tile co-iteration.
+//
+//fastcc:hotpath
+func (s *Sealed) KeyAt(i int) uint64 { return s.keys[i] }
+
+// PairsAt returns the dense index i's pair run. The slice aliases the
+// arena and must not be modified.
+//
+//fastcc:hotpath
+func (s *Sealed) PairsAt(i int) []Pair {
+	sp := s.spans[i]
+	return s.pairs[sp.Off : sp.Off+sp.Len]
+}
+
+// Lookup returns the pair run for key, or nil when absent — the probe side
+// of tile co-iteration. The slice aliases the arena; do not modify.
+//
+//fastcc:hotpath
+func (s *Sealed) Lookup(key uint64) []Pair {
+	slot := Mix(key) & s.mask
+	for {
+		li := s.slotIdx[slot]
+		if li == sliceEmptySlot {
+			return nil
+		}
+		if s.slotKeys[slot] == key {
+			sp := s.spans[li]
+			return s.pairs[sp.Off : sp.Off+sp.Len]
+		}
+		slot = (slot + 1) & s.mask
+	}
+}
+
+// Contains reports whether key is present.
+func (s *Sealed) Contains(key uint64) bool { return s.Lookup(key) != nil }
+
+// ForEach visits every (key, pair run) in insertion order. Kept for tests
+// and tooling; the contraction kernel uses the KeyAt/PairsAt cursor.
+func (s *Sealed) ForEach(fn func(key uint64, pairs []Pair)) {
+	for i := range s.keys {
+		fn(s.keys[i], s.PairsAt(i))
+	}
+}

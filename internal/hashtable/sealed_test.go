@@ -1,0 +1,194 @@
+package hashtable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealedBasic(t *testing.T) {
+	tb := NewSliceTable(0)
+	tb.Insert(7, 1, 1.5)
+	tb.Insert(7, 2, 2.5)
+	tb.Insert(9, 3, 3.5)
+	s := tb.Seal()
+	if s.Len() != 2 || s.Pairs() != 3 {
+		t.Fatalf("Len=%d Pairs=%d", s.Len(), s.Pairs())
+	}
+	ps := s.Lookup(7)
+	if len(ps) != 2 || ps[0] != (Pair{1, 1.5}) || ps[1] != (Pair{2, 2.5}) {
+		t.Fatalf("Lookup(7) = %v", ps)
+	}
+	if s.Lookup(8) != nil {
+		t.Fatal("Lookup(8) should be nil")
+	}
+	if !s.Contains(9) || s.Contains(10) {
+		t.Fatal("Contains wrong")
+	}
+	// Cursor order is insertion order: key 7 first, then 9.
+	if s.KeyAt(0) != 7 || s.KeyAt(1) != 9 {
+		t.Fatalf("cursor keys %d,%d", s.KeyAt(0), s.KeyAt(1))
+	}
+	if len(s.PairsAt(0)) != 2 || len(s.PairsAt(1)) != 1 {
+		t.Fatal("cursor pair runs wrong")
+	}
+}
+
+func TestSealedMatchesSliceTable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewSliceTable(0)
+		model := map[uint64][]Pair{}
+		for i := 0; i < 800; i++ {
+			k := rng.Uint64() % 97
+			p := Pair{Idx: uint32(rng.Intn(1000)), Val: float64(rng.Intn(19) - 9)}
+			tb.Insert(k, p.Idx, p.Val)
+			model[k] = append(model[k], p)
+		}
+		s := tb.Seal()
+		if s.Len() != len(model) {
+			return false
+		}
+		// Lookup agrees with the model, pair order preserved.
+		for k, want := range model {
+			got := s.Lookup(k)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		// The cursor visits every key exactly once with the same runs.
+		visited := map[uint64]bool{}
+		for i := 0; i < s.Len(); i++ {
+			k := s.KeyAt(i)
+			if visited[k] {
+				return false
+			}
+			visited[k] = true
+			if len(s.PairsAt(i)) != len(model[k]) {
+				return false
+			}
+		}
+		return len(visited) == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealedArenaIsContiguous(t *testing.T) {
+	tb := NewSliceTable(8)
+	for i := uint64(0); i < 1000; i++ {
+		tb.Insert(i%31, uint32(i), float64(i))
+	}
+	s := tb.Seal()
+	if s.Pairs() != 1000 {
+		t.Fatalf("Pairs=%d", s.Pairs())
+	}
+	// Spans tile the arena exactly: cursor order runs are adjacent.
+	off := int32(0)
+	for i := 0; i < s.Len(); i++ {
+		sp := s.spans[i]
+		if sp.Off != off {
+			t.Fatalf("key %d span starts at %d want %d", i, sp.Off, off)
+		}
+		off += sp.Len
+	}
+	if int(off) != len(s.pairs) {
+		t.Fatalf("spans cover %d of %d pairs", off, len(s.pairs))
+	}
+	if cap(s.pairs) != len(s.pairs) {
+		t.Fatalf("arena over-allocated: cap %d len %d", cap(s.pairs), len(s.pairs))
+	}
+}
+
+func TestSealedForEachMatchesCursor(t *testing.T) {
+	tb := NewSliceTable(4)
+	for i := uint64(0); i < 300; i++ {
+		tb.Insert(i%23, uint32(i), 1)
+	}
+	s := tb.Seal()
+	i := 0
+	s.ForEach(func(k uint64, ps []Pair) {
+		if k != s.KeyAt(i) || len(ps) != len(s.PairsAt(i)) {
+			t.Fatalf("ForEach diverges from cursor at %d", i)
+		}
+		i++
+	})
+	if i != s.Len() {
+		t.Fatalf("ForEach visited %d of %d", i, s.Len())
+	}
+}
+
+// TestSliceTableFootprintWithAccurateHint is the sizing-bug regression
+// test: NewSliceTable's hint is a DISTINCT-KEY count, not a pair count.
+// With an accurate key hint the table must not grow, and its slot count
+// must stay within one doubling of the load-factor-implied minimum — the
+// seed bug passed per-tile PAIR counts here, over-allocating slot arrays by
+// the pairs-per-key factor.
+func TestSliceTableFootprintWithAccurateHint(t *testing.T) {
+	const distinct, pairsPerKey = 1000, 16
+	tb := NewSliceTable(distinct)
+	slots0 := tb.Slots()
+	for i := 0; i < distinct*pairsPerKey; i++ {
+		tb.Insert(uint64(i%distinct), uint32(i), 1)
+	}
+	if tb.Slots() != slots0 {
+		t.Fatalf("accurately hinted table grew: %d -> %d slots", slots0, tb.Slots())
+	}
+	d := float64(distinct)
+	minSlots := nextPow2(int(d/sliceMaxLoad) + 1)
+	if tb.Slots() > 2*minSlots {
+		t.Fatalf("footprint %d slots exceeds 2x the load-implied minimum %d", tb.Slots(), minSlots)
+	}
+	// A pair-count hint (the seed bug) allocates ~pairsPerKey/loadFactor x
+	// more slots than needed; pin the ratio so the bug cannot return.
+	over := NewSliceTable(distinct * pairsPerKey)
+	if over.Slots() < 8*tb.Slots() {
+		t.Fatalf("test premise broken: pair-count hint gives %d slots vs %d", over.Slots(), tb.Slots())
+	}
+	// Sealing preserves the accurate footprint: the arena is exactly the
+	// pair count, the slot arrays are reused, not reallocated.
+	s := tb.Seal()
+	if s.Slots() != slots0 {
+		t.Fatalf("seal changed slot footprint: %d -> %d", slots0, s.Slots())
+	}
+	if s.Pairs() != distinct*pairsPerKey || cap(s.pairs) != s.Pairs() {
+		t.Fatalf("sealed arena: len %d cap %d want exactly %d", s.Pairs(), cap(s.pairs), distinct*pairsPerKey)
+	}
+}
+
+func BenchmarkSealedLookup(b *testing.B) {
+	tb := NewSliceTable(1 << 12)
+	for i := 0; i < 1<<14; i++ {
+		tb.Insert(uint64(i)&0xFFF, uint32(i), 1.0)
+	}
+	s := tb.Seal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Lookup(uint64(i) & 0xFFF)
+	}
+}
+
+func BenchmarkSealedCursorSweep(b *testing.B) {
+	tb := NewSliceTable(1 << 12)
+	for i := 0; i < 1<<14; i++ {
+		tb.Insert(uint64(i)&0xFFF, uint32(i), 1.0)
+	}
+	s := tb.Seal()
+	b.ReportAllocs()
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		for di := 0; di < s.Len(); di++ {
+			ps := s.PairsAt(di)
+			for _, p := range ps {
+				sum += p.Val
+			}
+		}
+	}
+	_ = sum
+}

@@ -51,6 +51,9 @@ func (t *SliceTable) Len() int { return len(t.lists) }
 // Pairs returns the total number of stored (key, pair) entries.
 func (t *SliceTable) Pairs() int { return t.pairs }
 
+// Slots returns the open-addressing slot count (footprint introspection).
+func (t *SliceTable) Slots() int { return len(t.keys) }
+
 // Insert appends (idx, val) to key's pair list, creating the key if new.
 //
 //fastcc:hotpath

@@ -1,0 +1,112 @@
+package model
+
+import "math"
+
+// ExpectedDistinctKeys estimates how many distinct contraction indices
+// appear among `pairs` nonzeros drawn from a key space of extent cdim,
+// under the same uniform-random-nonzeros assumption as the output-density
+// model (Section 5.1): cdim·(1-(1-1/cdim)^pairs), evaluated in log space
+// for robustness at the extremes. The Build phase sizes each tile's hash
+// table from this — the table's hint is a DISTINCT-KEY count, and passing a
+// raw pair count (pairs = keys × average run length) over-allocates the
+// slot arrays by the run-length factor.
+func ExpectedDistinctKeys(pairs int, cdim uint64) int {
+	if pairs <= 0 || cdim == 0 {
+		return 0
+	}
+	if cdim == 1 {
+		return 1
+	}
+	d := -float64(cdim) * math.Expm1(float64(pairs)*math.Log1p(-1/float64(cdim)))
+	// Distinct keys can exceed neither the draw count nor the key space.
+	hi := float64(pairs)
+	if float64(cdim) < hi {
+		hi = float64(cdim)
+	}
+	if d > hi {
+		d = hi
+	}
+	if d < 1 {
+		d = 1
+	}
+	return int(math.Ceil(d))
+}
+
+// blockBalanceFactor is the minimum number of super-blocks per worker the
+// blocked schedule keeps available: blocks are claimed whole, so too few of
+// them would serialize the tail. Shrinking blocks trades some cache reuse
+// for load balance, which is the right direction — a block that never runs
+// concurrently reuses nothing.
+const blockBalanceFactor = 4
+
+// BlockShape chooses the LLC super-block of the contract schedule
+// (Algorithm 7's data-volume term applied to the task grid): BL L-tiles ×
+// BR R-tiles contracted together by one worker, sized so the block's input
+// panels fit in a worker-share of the last-level cache. Within a block the
+// worker iterates L-tiles outer and R-tiles inner, so the BR-tile R panel
+// is read from DRAM once and reused BL times from cache — against the
+// unblocked i-major sweep, which re-streams the entire R shard through the
+// LLC for every L tile.
+//
+// bytesL/bytesR are the average in-memory footprints of one non-empty tile
+// of each shard; nL/nR the non-empty tile counts; workers the contract-
+// phase team size. The result is clamped to [1, nL]×[1, nR] and shrunk
+// until the block grid keeps every worker busy (blockBalanceFactor blocks
+// per worker) whenever the task grid allows it.
+func BlockShape(p Platform, bytesL, bytesR int64, nL, nR, workers int) (bl, br int) {
+	if nL < 1 || nR < 1 {
+		return 1, 1
+	}
+	if bytesL < 1 {
+		bytesL = 1
+	}
+	if bytesR < 1 {
+		bytesR = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Half the LLC for the input panels (the other half stays for the
+	// accumulators and output pools), split evenly between the two sides.
+	budget := p.L3Bytes / 2
+	if budget < 1 {
+		budget = 1
+	}
+	bl = clampBlock(budget/(2*bytesL), nL)
+	br = clampBlock(budget/(2*bytesR), nR)
+
+	// Load balance: keep at least blockBalanceFactor blocks per worker by
+	// halving the larger block side (preferring to keep BR — the reused
+	// panel — intact longest). A single worker claims blocks sequentially,
+	// so it keeps the largest (best-locality) shape untouched.
+	if workers == 1 {
+		return bl, br
+	}
+	for blocks(nL, bl)*blocks(nR, br) < blockBalanceFactor*workers && (bl > 1 || br > 1) {
+		if bl >= br {
+			bl /= 2
+			if bl < 1 {
+				bl = 1
+			}
+		} else {
+			br /= 2
+			if br < 1 {
+				br = 1
+			}
+		}
+	}
+	return bl, br
+}
+
+// blocks returns the block count along one axis: ceil(n/b).
+func blocks(n, b int) int { return (n + b - 1) / b }
+
+func clampBlock(b int64, n int) int {
+	if b < 1 {
+		return 1
+	}
+	if b > int64(n) {
+		return n
+	}
+	return int(b)
+}

@@ -1,0 +1,115 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectedDistinctKeysEdges(t *testing.T) {
+	cases := []struct {
+		pairs int
+		cdim  uint64
+		want  int
+	}{
+		{0, 100, 0},
+		{-3, 100, 0},
+		{10, 0, 0},
+		{10, 1, 1},
+		{1, 1000, 1},
+	}
+	for _, c := range cases {
+		if got := ExpectedDistinctKeys(c.pairs, c.cdim); got != c.want {
+			t.Errorf("ExpectedDistinctKeys(%d, %d) = %d want %d", c.pairs, c.cdim, got, c.want)
+		}
+	}
+}
+
+func TestExpectedDistinctKeysBounds(t *testing.T) {
+	for _, c := range []struct {
+		pairs int
+		cdim  uint64
+	}{
+		{10, 1000}, {1000, 10}, {500, 500}, {1 << 20, 1 << 10}, {7, 1 << 40},
+	} {
+		got := ExpectedDistinctKeys(c.pairs, c.cdim)
+		if got < 1 {
+			t.Fatalf("(%d,%d): %d < 1", c.pairs, c.cdim, got)
+		}
+		if got > c.pairs {
+			t.Fatalf("(%d,%d): %d exceeds pair count", c.pairs, c.cdim, got)
+		}
+		if uint64(got) > c.cdim {
+			t.Fatalf("(%d,%d): %d exceeds key space", c.pairs, c.cdim, got)
+		}
+	}
+}
+
+func TestExpectedDistinctKeysRegimes(t *testing.T) {
+	// Sparse regime (pairs << cdim): nearly every draw is a fresh key.
+	if got := ExpectedDistinctKeys(100, 1<<30); got < 99 || got > 100 {
+		t.Fatalf("sparse regime: %d want ~100", got)
+	}
+	// Dense regime (pairs >> cdim): nearly the whole key space is hit.
+	if got := ExpectedDistinctKeys(1<<20, 256); got < 255 || got > 256 {
+		t.Fatalf("dense regime: %d want ~256", got)
+	}
+	// Balanced regime matches the closed form.
+	pairs, cdim := 1000, uint64(1000)
+	want := float64(cdim) * (1 - math.Pow(1-1/float64(cdim), float64(pairs)))
+	got := ExpectedDistinctKeys(pairs, cdim)
+	if math.Abs(float64(got)-want) > 2 {
+		t.Fatalf("balanced regime: %d want ~%.1f", got, want)
+	}
+}
+
+func TestBlockShapeFitsBudgetAndClamps(t *testing.T) {
+	p := Desktop8 // 16 MiB L3 -> 8 MiB panel budget, 4 MiB per side
+	// 64 KiB per tile on both sides: 4 MiB / 64 KiB = 64 tiles per side.
+	bl, br := BlockShape(p, 64<<10, 64<<10, 1000, 1000, 1)
+	if bl != 64 || br != 64 {
+		t.Fatalf("block %dx%d want 64x64", bl, br)
+	}
+	// Clamped to the grid when tiles are few.
+	bl, br = BlockShape(p, 1, 1, 3, 5, 1)
+	if bl != 3 || br != 5 {
+		t.Fatalf("clamp: %dx%d want 3x5", bl, br)
+	}
+	// Huge tiles force 1x1 blocks.
+	bl, br = BlockShape(p, 1<<30, 1<<30, 100, 100, 1)
+	if bl != 1 || br != 1 {
+		t.Fatalf("huge tiles: %dx%d want 1x1", bl, br)
+	}
+	// Degenerate inputs.
+	if bl, br = BlockShape(p, 0, -5, 0, 10, 4); bl != 1 || br != 1 {
+		t.Fatalf("degenerate: %dx%d", bl, br)
+	}
+}
+
+func TestBlockShapeKeepsWorkersBusy(t *testing.T) {
+	p := Desktop8
+	// Tiny tiles would fit the whole 40x40 grid in one block; with 8
+	// workers the shape must shrink until >= 4 blocks per worker exist.
+	bl, br := BlockShape(p, 16, 16, 40, 40, 8)
+	nb := blocks(40, bl) * blocks(40, br)
+	if nb < blockBalanceFactor*8 {
+		t.Fatalf("only %d blocks for 8 workers (block %dx%d)", nb, bl, br)
+	}
+	// A grid too small to ever reach the target must still terminate with
+	// 1x1 blocks rather than loop.
+	bl, br = BlockShape(p, 16, 16, 2, 2, 64)
+	if bl != 1 || br != 1 {
+		t.Fatalf("small grid: %dx%d want 1x1", bl, br)
+	}
+}
+
+func TestBlockShapeAsymmetricSides(t *testing.T) {
+	p := Desktop8
+	// R tiles 16x heavier than L tiles: BR should come out ~16x smaller.
+	bl, br := BlockShape(p, 4<<10, 64<<10, 10000, 10000, 1)
+	if bl <= br {
+		t.Fatalf("asymmetric shape not reflected: %dx%d", bl, br)
+	}
+	if blf, brf := float64(bl), float64(br); blf/brf < 8 || blf/brf > 32 {
+		t.Fatalf("ratio %f off the 16x footprint ratio", blf/brf)
+	}
+}

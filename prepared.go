@@ -149,6 +149,7 @@ func contractSharded(l, r *Sharded, o *options, linearize time.Duration) (*Tenso
 	st.Decision = cst.Decision
 	st.TileL, st.TileR = cst.TileL, cst.TileR
 	st.NL, st.NR, st.Tasks = cst.NL, cst.NR, cst.Tasks
+	st.BlockL, st.BlockR, st.Blocks = cst.BlockL, cst.BlockR, cst.Blocks
 	st.Threads = cst.Threads
 	st.OutputNNZ = cst.OutputNNZ
 	st.Build = cst.BuildTime
