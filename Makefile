@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz-smoke bench-smoke bench-reuse bench-buildscale ci
+.PHONY: build test test-checked race vet fuzz-smoke bench-smoke bench-reuse bench-buildscale ci
 
 build:
 	$(GO) build ./...
@@ -12,24 +12,35 @@ build:
 test:
 	$(GO) test ./...
 
+# Sanitizer build: mempool poisons recycled storage and tracks chunk
+# provenance, Sealed/Shard validate generation stamps on every access, so
+# the lifetime bugs the poolescape/sealedmut analyzers model statically
+# become deterministic panics at runtime (see DESIGN.md).
+test-checked:
+	$(GO) test -tags fastcc_checked ./...
+
 # The supported race gate is -short: full -race on the experiment
 # packages replays paper workloads and is too slow for a gate.
 race:
 	$(GO) test -race -short ./...
 
 # go vet plus the project's own analyzer suite (atomicmix, errdiscard,
-# hotalloc, linovf, wgmisuse — see tools/analysis/ and README.md).
+# hotalloc, linovf, poolescape, sealedmut, spanarith, wgmisuse — see
+# tools/analysis/ and README.md).
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/fastcc-vet ./...
 
 # Short fuzz of every existing Fuzz* target; go test -fuzz takes one
-# target per package per invocation.
+# target per package per invocation. The contraction fuzzer runs a second
+# time under fastcc_checked so random tilings also exercise the poison and
+# generation asserts.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParseEinsum -fuzztime=$(FUZZTIME) .
 	$(GO) test -run=^$$ -fuzz=FuzzReadTNS -fuzztime=$(FUZZTIME) ./internal/coo
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/tnsbin
 	$(GO) test -run=^$$ -fuzz=FuzzContractTiling -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -tags fastcc_checked -run=^$$ -fuzz=FuzzContractTiling -fuzztime=$(FUZZTIME) ./internal/core
 
 # One-iteration run of the prepared-operand reuse benchmark: exercises the
 # Preshard/ContractPrepared path end to end (the warm iterations assert
@@ -50,4 +61,4 @@ bench-buildscale:
 bench-reuse:
 	$(GO) run ./cmd/fastcc-bench -exp reuse -scale-frostt 0.002 -repeats 7 -platform desktop8 > BENCH_reuse.json
 
-ci: build vet test race fuzz-smoke bench-smoke
+ci: build vet test test-checked race fuzz-smoke bench-smoke

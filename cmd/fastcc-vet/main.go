@@ -5,13 +5,19 @@
 //	fastcc-vet -c atomicmix,linovf ./internal/scheduler
 //	fastcc-vet -list                    # describe the analyzers
 //
-// The suite checks concurrency and indexing invariants the compiler cannot:
-// mixed atomic/plain access (atomicmix), unchecked dimension products
-// (linovf), allocations in //fastcc:hotpath kernels (hotalloc), WaitGroup
-// fork/join mistakes (wgmisuse) and discarded finalizer errors (errdiscard).
-// Findings are suppressed per line with //fastcc:allow <name> -- reason.
+// The suite checks concurrency, indexing and memory-lifetime invariants the
+// compiler cannot: mixed atomic/plain access (atomicmix), unchecked
+// dimension products (linovf), allocations in //fastcc:hotpath kernels
+// (hotalloc), WaitGroup fork/join mistakes (wgmisuse), discarded finalizer
+// errors (errdiscard), pool-obtained memory escaping its recycle point
+// (poolescape), narrow-integer span arithmetic (spanarith) and writes to
+// sealed structures outside their constructors (sealedmut). Findings are
+// suppressed per line with //fastcc:allow <name> -- reason; deliberate
+// ownership transfers carry //fastcc:owned instead.
 //
-// Exit status: 0 when clean, 1 on findings, 2 on usage or load errors.
+// Exit status: 0 when clean, 1 on findings, 2 on usage or load errors —
+// including a malformed suite registration: a nil, unnamed, runless or
+// duplicate-named analyzer aborts the run instead of being skipped silently.
 package main
 
 import (
@@ -26,6 +32,9 @@ import (
 	"fastcc/tools/analysis/framework"
 	"fastcc/tools/analysis/hotalloc"
 	"fastcc/tools/analysis/linovf"
+	"fastcc/tools/analysis/poolescape"
+	"fastcc/tools/analysis/sealedmut"
+	"fastcc/tools/analysis/spanarith"
 	"fastcc/tools/analysis/wgmisuse"
 )
 
@@ -35,6 +44,9 @@ var All = []*framework.Analyzer{
 	errdiscard.Analyzer,
 	hotalloc.Analyzer,
 	linovf.Analyzer,
+	poolescape.Analyzer,
+	sealedmut.Analyzer,
+	spanarith.Analyzer,
 	wgmisuse.Analyzer,
 }
 
@@ -42,7 +54,33 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// validateSuite rejects a malformed registration before any analysis runs.
+// Without this gate a nil entry panicked deep in the driver and an unnamed
+// or duplicate-named pass was silently unreachable from -c and unreadable
+// in findings — a bad registration could effectively disable a gate.
+func validateSuite(all []*framework.Analyzer) error {
+	seen := make(map[string]bool, len(all))
+	for i, a := range all {
+		switch {
+		case a == nil:
+			return fmt.Errorf("analyzer %d is nil", i)
+		case a.Name == "":
+			return fmt.Errorf("analyzer %d has no name", i)
+		case a.Run == nil:
+			return fmt.Errorf("analyzer %q has no Run function", a.Name)
+		case seen[a.Name]:
+			return fmt.Errorf("analyzer %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
+	if err := validateSuite(All); err != nil {
+		fmt.Fprintln(stderr, "fastcc-vet: invalid analyzer suite:", err)
+		return 2
+	}
 	fs := flag.NewFlagSet("fastcc-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (

@@ -20,6 +20,42 @@ func TestListNamesEveryAnalyzer(t *testing.T) {
 	}
 }
 
+func TestValidateSuite(t *testing.T) {
+	if err := validateSuite(All); err != nil {
+		t.Fatalf("registered suite invalid: %v", err)
+	}
+	ok := &framework.Analyzer{Name: "ok", Run: func(*framework.Pass) error { return nil }}
+	cases := []struct {
+		name string
+		all  []*framework.Analyzer
+	}{
+		{"nil entry", []*framework.Analyzer{ok, nil}},
+		{"unnamed", []*framework.Analyzer{{Run: ok.Run}}},
+		{"runless", []*framework.Analyzer{{Name: "broken"}}},
+		{"duplicate", []*framework.Analyzer{ok, {Name: "ok", Run: ok.Run}}},
+	}
+	for _, tc := range cases {
+		if err := validateSuite(tc.all); err == nil {
+			t.Errorf("%s: validateSuite accepted a malformed suite", tc.name)
+		}
+	}
+}
+
+// TestBrokenSuiteExitsNonZero pins the driver behavior: a bad registration
+// must abort with exit 2, not skip the pass.
+func TestBrokenSuiteExitsNonZero(t *testing.T) {
+	saved := All
+	defer func() { All = saved }()
+	All = append([]*framework.Analyzer{nil}, saved...)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 2 {
+		t.Fatalf("run with nil analyzer = %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "invalid analyzer suite") {
+		t.Errorf("stderr missing suite diagnosis: %s", errOut.String())
+	}
+}
+
 func TestUnknownAnalyzerRejected(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-c", "nosuch", "./..."}, &out, &errOut); code != 2 {

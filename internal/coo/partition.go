@@ -80,13 +80,17 @@ func partitionWorkers(workers, tiles, nnz int) int {
 func PartitionByTile(m *Matrix, tile uint64, workers int) *TilePartition {
 	nnz := m.NNZ()
 	tiles := int((m.ExtDim + tile - 1) / tile)
+	// Ownership transfer: the arenas below belong to the TilePartition from
+	// Get until its Release puts them back; nothing else may Put them, and
+	// no reference survives Release (the build phase reads them strictly
+	// before calling it).
 	p := &TilePartition{
 		Tile:  tile,
 		Tiles: tiles,
-		Offs:  partInt.Get(tiles + 1)[:tiles+1],
-		Ctr:   partU64.Get(nnz)[:nnz],
-		Intra: partU32.Get(nnz)[:nnz],
-		Val:   partF64.Get(nnz)[:nnz],
+		Offs:  partInt.Get(tiles + 1)[:tiles+1], //fastcc:owned
+		Ctr:   partU64.Get(nnz)[:nnz],           //fastcc:owned
+		Intra: partU32.Get(nnz)[:nnz],           //fastcc:owned
+		Val:   partF64.Get(nnz)[:nnz],           //fastcc:owned
 	}
 	pw := partitionWorkers(workers, tiles, nnz)
 

@@ -1,0 +1,11 @@
+//go:build !fastcc_checked
+
+package core
+
+// checkedShard is the zero-sized placeholder for the fastcc_checked
+// generation stamp; normal builds carry no lifetime state and the tile
+// accessors' checks compile to nothing.
+type checkedShard struct{}
+
+func (s *Shard) stampBuilt()       {}
+func (s *Shard) checkBuilt(string) {}

@@ -1,0 +1,28 @@
+//go:build fastcc_checked
+
+// fastcc_checked mode: a Shard carries a generation stamp set once at the
+// end of build; the tile accessors the contract phase reads through verify
+// it, so consuming a shard whose build never completed — a zero value, a
+// manual literal, or a future recycled shard — panics deterministically
+// instead of contracting over half-built tables.
+package core
+
+import "fmt"
+
+// shardBuiltGen marks a Shard whose build completed. The zero value's 0
+// fails checkBuilt.
+const shardBuiltGen uint32 = 0x5A4DB001
+
+type checkedShard struct {
+	gen uint32
+}
+
+func (s *Shard) stampBuilt() { s.ck.gen = shardBuiltGen }
+
+func (s *Shard) checkBuilt(op string) {
+	if s.ck.gen != shardBuiltGen {
+		panic(fmt.Sprintf(
+			"core.Shard.%s: generation check failed (gen=%#x, want %#x): shard build never completed or shard was recycled",
+			op, s.ck.gen, shardBuiltGen))
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"fastcc/internal/coo"
+	"fastcc/internal/hashtable"
+	"fastcc/internal/mempool"
+)
+
+// TestShardGenerationCheck: a Shard assembled by hand (build never ran) must
+// fail the generation check at its tile accessors under fastcc_checked, and
+// behave like the plain field reads otherwise.
+func TestShardGenerationCheck(t *testing.T) {
+	unbuilt := &Shard{
+		Key:    ShardKey{Tile: 4, Rep: RepHash},
+		sealed: make([]*hashtable.Sealed, 1), //fastcc:allow sealedmut -- test forges a half-built shard on purpose
+	}
+	defer func() {
+		r := recover()
+		if mempool.Checked && r == nil {
+			t.Fatal("fastcc_checked build read tiles of a shard whose build never completed")
+		}
+		if !mempool.Checked && r != nil {
+			t.Fatalf("normal build panicked: %v", r)
+		}
+	}()
+	if got := unbuilt.sealedAt(0); got != nil {
+		t.Fatalf("sealedAt(0) = %v on an empty tile array, want nil", got)
+	}
+}
+
+// TestBuiltShardPassesGenerationCheck pins the happy path: a shard produced
+// by Operand.Shard reads clean through the checked accessors.
+func TestBuiltShardPassesGenerationCheck(t *testing.T) {
+	m := &coo.Matrix{
+		Ext: []uint64{0, 1, 3}, Ctr: []uint64{0, 2, 3}, Val: []float64{1, 2, 3},
+		ExtDim: 4, CtrDim: 4,
+	}
+	op := NewOperand(m)
+	s, built := op.Shard(ShardKey{Tile: 2, Rep: RepHash}, 1)
+	if !built {
+		t.Fatal("first Shard call did not build")
+	}
+	for i := 0; i < s.Tiles(); i++ {
+		_ = s.sealedAt(i)
+	}
+}

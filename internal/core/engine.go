@@ -301,9 +301,9 @@ func execute(ls, rs *Shard, dec model.Decision, threads int, cfg Config, st *Sta
 				}
 				j := nonEmptyR[jj]
 				if cfg.Rep == RepSorted {
-					contractTilePairSorted(ls.sorted[i], rs.sorted[j], baseL, uint64(j)*tr, wk, pools[w], cfg.Counters)
+					contractTilePairSorted(ls.sortedAt(i), rs.sortedAt(j), baseL, uint64(j)*tr, wk, pools[w], cfg.Counters)
 				} else {
-					contractTilePair(ls.sealed[i], rs.sealed[j], baseL, uint64(j)*tr, wk, pools[w], cfg.Counters)
+					contractTilePair(ls.sealedAt(i), rs.sealedAt(j), baseL, uint64(j)*tr, wk, pools[w], cfg.Counters)
 				}
 			}
 		}

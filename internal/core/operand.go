@@ -55,6 +55,25 @@ type Shard struct {
 	keys     int                 // total distinct contraction keys across tiles
 
 	built chan struct{} // closed when the build completes
+
+	ck checkedShard // generation stamp; zero-sized unless built with fastcc_checked
+}
+
+// sealedAt returns tile i's sealed table (nil when empty), verifying under
+// fastcc_checked that the shard's build completed before any tile is read.
+//
+//fastcc:hotpath
+func (s *Shard) sealedAt(i int) *hashtable.Sealed {
+	s.checkBuilt("sealedAt")
+	return s.sealed[i]
+}
+
+// sortedAt is sealedAt's RepSorted twin.
+//
+//fastcc:hotpath
+func (s *Shard) sortedAt(i int) *sortedTile {
+	s.checkBuilt("sortedAt")
+	return s.sorted[i]
 }
 
 // Tiles returns the tile-grid size (number of tiles along the operand's
@@ -137,6 +156,8 @@ func (o *Operand) Cached(key ShardKey) bool {
 // segments. Against the seed's scan-and-filter scheme — every worker
 // scanning the whole operand — total Build reads drop from
 // O(workers × nnz) to O(nnz).
+//
+//fastcc:sealer -- the one function allowed to populate a Shard
 func (s *Shard) build(m *coo.Matrix, threads int) {
 	part := coo.PartitionByTile(m, s.Key.Tile, threads)
 	s.nonEmpty = part.NonEmpty()
@@ -160,4 +181,5 @@ func (s *Shard) build(m *coo.Matrix, threads int) {
 		}
 	}
 	part.Release()
+	s.stampBuilt()
 }

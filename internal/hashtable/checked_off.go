@@ -1,0 +1,14 @@
+//go:build !fastcc_checked
+
+package hashtable
+
+// checkedSealed is the zero-sized placeholder for the fastcc_checked
+// generation stamp; the normal build carries no lifetime state and the
+// check hooks below compile to nothing on the KeyAt/PairsAt/Lookup hot
+// paths.
+type checkedSealed struct{}
+
+func (s *Sealed) stampLive()             {}
+func (s *Sealed) invalidate()            {}
+func (s *Sealed) checkLive(string)       {}
+func (s *Sealed) checkSpan(string, Span) {}

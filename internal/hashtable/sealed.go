@@ -26,6 +26,8 @@ type Sealed struct {
 	keys  []uint64
 	spans []Span
 	pairs []Pair
+
+	ck checkedSealed // generation stamp; zero-sized unless built with fastcc_checked
 }
 
 // Seal converts the table into its read-only SoA form. The pair lists are
@@ -33,6 +35,8 @@ type Sealed struct {
 // arrays are reused as the sealed lookup index. The SliceTable must not be
 // used afterwards: its per-key lists are released for the GC and its slot
 // arrays now belong to the sealed table.
+//
+//fastcc:sealer -- the one function allowed to populate a Sealed
 func (t *SliceTable) Seal() *Sealed {
 	s := &Sealed{
 		mask:     t.mask,
@@ -57,7 +61,17 @@ func (t *SliceTable) Seal() *Sealed {
 	t.lists = nil
 	t.keys = nil
 	t.listIdx = nil
+	s.stampLive()
 	return s
+}
+
+// slicePairs resolves a span into the arena through int-widened bounds, so
+// the slice arithmetic cannot wrap even if spans ever outgrow int32 math
+// (the spanarith analyzer enforces this shape on all new span code).
+//
+//fastcc:hotpath
+func (s *Sealed) slicePairs(sp Span) []Pair {
+	return s.pairs[int(sp.Off) : int(sp.Off)+int(sp.Len)]
 }
 
 // Len returns the number of distinct keys.
@@ -73,7 +87,10 @@ func (s *Sealed) Slots() int { return len(s.slotKeys) }
 // order — the cursor side of tile co-iteration.
 //
 //fastcc:hotpath
-func (s *Sealed) KeyAt(i int) uint64 { return s.keys[i] }
+func (s *Sealed) KeyAt(i int) uint64 {
+	s.checkLive("KeyAt")
+	return s.keys[i]
+}
 
 // PairsAt returns the dense index i's pair run. The slice aliases the
 // arena and must not be modified.
@@ -81,7 +98,8 @@ func (s *Sealed) KeyAt(i int) uint64 { return s.keys[i] }
 //fastcc:hotpath
 func (s *Sealed) PairsAt(i int) []Pair {
 	sp := s.spans[i]
-	return s.pairs[sp.Off : sp.Off+sp.Len]
+	s.checkSpan("PairsAt", sp)
+	return s.slicePairs(sp)
 }
 
 // Lookup returns the pair run for key, or nil when absent — the probe side
@@ -89,6 +107,7 @@ func (s *Sealed) PairsAt(i int) []Pair {
 //
 //fastcc:hotpath
 func (s *Sealed) Lookup(key uint64) []Pair {
+	s.checkLive("Lookup")
 	slot := Mix(key) & s.mask
 	for {
 		li := s.slotIdx[slot]
@@ -97,7 +116,8 @@ func (s *Sealed) Lookup(key uint64) []Pair {
 		}
 		if s.slotKeys[slot] == key {
 			sp := s.spans[li]
-			return s.pairs[sp.Off : sp.Off+sp.Len]
+			s.checkSpan("Lookup", sp)
+			return s.slicePairs(sp)
 		}
 		slot = (slot + 1) & s.mask
 	}

@@ -1,0 +1,46 @@
+//go:build !fastcc_checked
+
+package mempool
+
+// Checked reports whether the fastcc_checked lifetime assertions are
+// compiled in. Tests use it to decide whether a deliberate use-after-recycle
+// must panic (checked builds) or pass silently (normal builds).
+const Checked = false
+
+// checkedCache and checkedSlice are the zero-sized placeholders for the
+// checked-mode bookkeeping; the normal build parks storage in sync.Pool and
+// performs no poisoning or provenance tracking, keeping the recycle path
+// free of locks and sweeps.
+type (
+	checkedCache[T any] struct{}
+	checkedSlice[T any] struct{}
+)
+
+func (c *ChunkCache[T]) park(b []T) { c.pool.Put(b) }
+
+func (c *ChunkCache[T]) unpark() ([]T, bool) {
+	v := c.pool.Get()
+	if v == nil {
+		return nil, false
+	}
+	return v.([]T)[:0], true
+}
+
+// noteVended / vended implement provenance tracking only under
+// fastcc_checked; the normal build trusts the capacity check in Release.
+func (c *ChunkCache[T]) noteVended([]T)  {}
+func (c *ChunkCache[T]) vended([]T) bool { return true }
+
+func (s *SlicePool[T]) park(b []T) { s.pool.Put(b) }
+
+func (s *SlicePool[T]) unpark() ([]T, bool) {
+	v := s.pool.Get()
+	if v == nil {
+		return nil, false
+	}
+	return v.([]T)[:0], true
+}
+
+// poison is the checked-mode sentinel writer; a no-op here so shared code
+// (Pool.Reset) can call it unconditionally.
+func poison[T any]([]T) {}

@@ -1,0 +1,179 @@
+//go:build fastcc_checked
+
+// fastcc_checked mode: every recycle point poisons the parked storage with a
+// sentinel byte and every re-vend asserts the sentinel survived, so a write
+// through a stale reference — the bug class the poolescape analyzer models
+// statically — becomes a deterministic panic at the next Get instead of
+// silent cross-run corruption. Parking uses a locked LIFO instead of
+// sync.Pool so the panic reproduces: sync.Pool may drop or migrate items
+// between Put and Get, which would let a corrupted chunk escape detection.
+//
+// Poisoning scribbles over the slice's full capacity, so it is only applied
+// to pointer-free element types (checked once per pool via reflection);
+// element types containing pointers skip the sentinel — scribbling them
+// would corrupt GC metadata — but still get deterministic LIFO parking and
+// provenance tracking.
+package mempool
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+// Checked reports whether the fastcc_checked lifetime assertions are
+// compiled in.
+const Checked = true
+
+// poisonByte is the sentinel pattern written over parked storage. 0xA5 is
+// asymmetric and non-zero, so neither fresh allocations nor common stores
+// (0, -1) mimic it.
+const poisonByte = 0xA5
+
+type checkedCache[T any] struct {
+	mu     sync.Mutex
+	parked [][]T
+	// vended records the backing arrays this cache has handed out, keyed by
+	// the array pointer; Release consults it to reject foreign chunks.
+	vendedSet map[*T]struct{}
+}
+
+func (c *ChunkCache[T]) park(b []T) {
+	poison(b)
+	c.ck.mu.Lock()
+	c.ck.parked = append(c.ck.parked, b)
+	c.ck.mu.Unlock()
+}
+
+func (c *ChunkCache[T]) unpark() ([]T, bool) {
+	c.ck.mu.Lock()
+	n := len(c.ck.parked)
+	if n == 0 {
+		c.ck.mu.Unlock()
+		return nil, false
+	}
+	b := c.ck.parked[n-1]
+	c.ck.parked[n-1] = nil
+	c.ck.parked = c.ck.parked[:n-1]
+	c.ck.mu.Unlock()
+	assertPoisoned(b, "mempool.ChunkCache")
+	return b[:0], true
+}
+
+func (c *ChunkCache[T]) noteVended(b []T) {
+	if cap(b) == 0 {
+		return
+	}
+	c.ck.mu.Lock()
+	if c.ck.vendedSet == nil {
+		c.ck.vendedSet = make(map[*T]struct{})
+	}
+	c.ck.vendedSet[unsafe.SliceData(b[:cap(b)])] = struct{}{}
+	c.ck.mu.Unlock()
+}
+
+func (c *ChunkCache[T]) vended(b []T) bool {
+	if cap(b) == 0 {
+		return false
+	}
+	c.ck.mu.Lock()
+	_, ok := c.ck.vendedSet[unsafe.SliceData(b[:cap(b)])]
+	c.ck.mu.Unlock()
+	return ok
+}
+
+type checkedSlice[T any] struct {
+	mu     sync.Mutex
+	parked [][]T
+}
+
+func (s *SlicePool[T]) park(b []T) {
+	poison(b)
+	s.ck.mu.Lock()
+	s.ck.parked = append(s.ck.parked, b)
+	s.ck.mu.Unlock()
+}
+
+func (s *SlicePool[T]) unpark() ([]T, bool) {
+	s.ck.mu.Lock()
+	n := len(s.ck.parked)
+	if n == 0 {
+		s.ck.mu.Unlock()
+		return nil, false
+	}
+	b := s.ck.parked[n-1]
+	s.ck.parked[n-1] = nil
+	s.ck.parked = s.ck.parked[:n-1]
+	s.ck.mu.Unlock()
+	assertPoisoned(b, "mempool.SlicePool")
+	return b[:0], true
+}
+
+// poison writes the sentinel over b's full capacity when T is pointer-free.
+func poison[T any](b []T) {
+	bs, ok := byteView(b)
+	if !ok {
+		return
+	}
+	for i := range bs {
+		bs[i] = poisonByte
+	}
+}
+
+// assertPoisoned panics when any byte of b's storage no longer carries the
+// sentinel written at park time: someone wrote through a stale reference
+// between Put/Release and this re-vend.
+func assertPoisoned[T any](b []T, owner string) {
+	bs, ok := byteView(b)
+	if !ok {
+		return
+	}
+	for i, x := range bs {
+		if x != poisonByte {
+			panic(fmt.Sprintf(
+				"%s: use-after-recycle detected: byte %d of a parked chunk was overwritten after Put/Release (want poison %#x, found %#x); some caller retained the storage past its recycle point",
+				owner, i, poisonByte, x))
+		}
+	}
+}
+
+// byteView reinterprets b's full capacity as raw bytes. It refuses element
+// types containing pointers (the GC owns those bits) and zero-sized or
+// zero-capacity storage.
+func byteView[T any](b []T) ([]byte, bool) {
+	if cap(b) == 0 {
+		return nil, false
+	}
+	var zero T
+	t := reflect.TypeOf(zero)
+	if t == nil || t.Size() == 0 || !pointerFree(t) {
+		return nil, false
+	}
+	full := b[:cap(b)]
+	n := cap(b) * int(t.Size())
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(full))), n), true
+}
+
+// pointerFree reports whether values of t contain no pointers anywhere, so
+// scribbling their bytes cannot confuse the garbage collector.
+func pointerFree(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return true
+	case reflect.Array:
+		return pointerFree(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !pointerFree(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

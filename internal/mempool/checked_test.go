@@ -1,0 +1,139 @@
+package mempool
+
+import "testing"
+
+// mustPanicWhenChecked runs fn expecting a poison panic under
+// -tags fastcc_checked and silent success otherwise. It returns the
+// recovered value ("" when no panic fired).
+func mustPanicWhenChecked(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if Checked && r == nil {
+			t.Fatalf("%s: fastcc_checked build did not panic on a deliberate use-after-recycle", what)
+		}
+		if !Checked && r != nil {
+			t.Fatalf("%s: normal build panicked unexpectedly: %v", what, r)
+		}
+	}()
+	fn()
+}
+
+// TestSlicePoolUseAfterRecycle injects the exact bug class the poisoning
+// exists for: a caller keeps its slice after Put and writes through it. The
+// checked build must turn the next Get into a deterministic panic; the
+// normal build silently recycles (which is why checked mode exists).
+func TestSlicePoolUseAfterRecycle(t *testing.T) {
+	var s SlicePool[uint64]
+	b := s.Get(16)
+	b = append(b, 1, 2, 3)
+	s.Put(b)
+	b[0] = 42 // deliberate use-after-recycle: b aliases parked storage
+	mustPanicWhenChecked(t, "SlicePool", func() {
+		_ = s.Get(8)
+	})
+}
+
+// TestChunkCacheUseAfterRecycle is the same injection through the chunk
+// path: a stale List chunk reference written after Release must poison-panic
+// when the cache re-vends the storage to the next pool.
+func TestChunkCacheUseAfterRecycle(t *testing.T) {
+	c := NewChunkCache[int](4)
+	p := c.NewPool()
+	for i := 0; i < 4; i++ {
+		p.Append(i)
+	}
+	l := Concat(p)
+	stale := l.Chunks()[0]
+	c.Release(l)
+	stale[2] = 99 // deliberate use-after-recycle through the old chunk
+	mustPanicWhenChecked(t, "ChunkCache", func() {
+		c.NewPool().Append(7)
+	})
+}
+
+// TestSlicePoolCleanRecycleDoesNotPanic pins the other half of the checked
+// contract: a correct Put/Get cycle must never trip the poison assert.
+func TestSlicePoolCleanRecycleDoesNotPanic(t *testing.T) {
+	var s SlicePool[float64]
+	for i := 0; i < 3; i++ {
+		b := s.Get(32)
+		b = append(b, 1.5, 2.5)
+		s.Put(b)
+	}
+	b := s.Get(16)
+	if len(b) != 0 {
+		t.Fatalf("recycled slice not empty: %d", len(b))
+	}
+}
+
+// TestChunkCacheRejectsWrongCapacity: a chunk of the wrong capacity must be
+// dropped with a count, never recycled — recycling it would vend
+// wrong-shaped storage to the next pool.
+func TestChunkCacheRejectsWrongCapacity(t *testing.T) {
+	c := NewChunkCache[int](4)
+	foreign := New[int](8) // chunkLen 8: caps can never match the cache's 4
+	for i := 0; i < 3; i++ {
+		foreign.Append(i)
+	}
+	c.Release(Concat(foreign))
+	if got := c.Dropped(); got != 1 {
+		t.Fatalf("Dropped=%d after one wrong-capacity chunk, want 1", got)
+	}
+	p := c.NewPool()
+	p.Append(1)
+	if got := cap(p.Chunks()[0]); got != 4 {
+		t.Fatalf("cache vended a foreign chunk: cap=%d want 4", got)
+	}
+}
+
+// TestChunkCacheForeignSameCapacity: same capacity, wrong provenance. The
+// normal build cannot tell these apart (capacity is its only signal) and
+// recycles; the checked build tracks which arrays the cache vended and
+// rejects the impostor.
+func TestChunkCacheForeignSameCapacity(t *testing.T) {
+	c := NewChunkCache[int](4)
+	foreign := New[int](4) // same chunkLen, but storage the cache never vended
+	foreign.Append(1)
+	c.Release(Concat(foreign))
+	if Checked {
+		if got := c.Dropped(); got != 1 {
+			t.Fatalf("checked build: Dropped=%d for a foreign same-cap chunk, want 1", got)
+		}
+	} else {
+		if got := c.Dropped(); got != 0 {
+			t.Fatalf("normal build: Dropped=%d, capacity-matched chunks are accepted", got)
+		}
+	}
+}
+
+// TestSlicePoolDropsZeroCapacity: parking nothing is counted, not recycled.
+func TestSlicePoolDropsZeroCapacity(t *testing.T) {
+	var s SlicePool[byte]
+	s.Put(nil)
+	s.Put([]byte{})
+	if got := s.Dropped(); got != 2 {
+		t.Fatalf("Dropped=%d want 2", got)
+	}
+}
+
+// TestPoolResetPoisonsRetainedChunk: under fastcc_checked, a stale Chunks
+// reference held across Reset must read the sentinel, not plausible stale
+// values; appends after Reset still work because they overwrite the poison.
+func TestPoolResetPoisonsRetainedChunk(t *testing.T) {
+	p := New[uint32](4)
+	for i := 0; i < 3; i++ {
+		p.Append(uint32(i + 1))
+	}
+	stale := p.Chunks()[0]
+	p.Reset()
+	if Checked {
+		if stale[:3][0] != 0xA5A5A5A5 {
+			t.Fatalf("retained chunk not poisoned after Reset: %#x", stale[:3][0])
+		}
+	}
+	p.Append(7)
+	if p.Chunks()[0][0] != 7 {
+		t.Fatalf("append after Reset = %d, want 7", p.Chunks()[0][0])
+	}
+}

@@ -9,9 +9,26 @@
 // storage to a free pool instead of the garbage collector, Freelist keeps
 // shaped scratch objects (accumulators) alive between runs, and SlicePool
 // recycles flat scratch slices.
+//
+// # Checked mode
+//
+// Recycling bugs — a caller holding a buffer past Put/Release, a foreign
+// chunk smuggled into a cache — are invisible to the garbage collector and
+// the race detector. Building with -tags fastcc_checked arms this package's
+// lifetime assertions: recycled storage of pointer-free element types is
+// poisoned with a sentinel byte pattern when parked and verified when
+// re-vended, so a write after the recycle point becomes a deterministic
+// panic at the next Get instead of silent corruption; parking switches from
+// sync.Pool to a deterministic LIFO so the panic is reproducible; and
+// ChunkCache additionally tracks chunk provenance, rejecting (and counting)
+// storage it never vended. The static side of the same contract is the
+// poolescape analyzer in tools/analysis.
 package mempool
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // DefaultChunkLen is the number of elements per chunk when none is given.
 // The paper uses 512 MB chunks; we size in elements so the pool is type-
@@ -75,9 +92,13 @@ func (p *Pool[T]) ForEach(fn func(T)) {
 }
 
 // Reset drops all elements but keeps the last chunk's storage for reuse.
+// Under fastcc_checked the retained storage is poisoned, so a stale Chunks
+// reference reading past Reset sees the sentinel pattern instead of
+// plausible stale data.
 func (p *Pool[T]) Reset() {
 	if len(p.chunks) > 0 {
 		last := p.chunks[len(p.chunks)-1][:0]
+		poison(last)
 		p.chunks = p.chunks[:0]
 		p.chunks = append(p.chunks, last)
 	}
@@ -127,11 +148,14 @@ func (l *List[T]) Chunks() [][]T { return l.chunks }
 // ChunkCache recycles fixed-length chunk storage between contraction runs.
 // Pools created via NewPool draw their chunks from the cache; once a run's
 // output List has been fully copied out, Release returns every chunk for
-// the next run. Safe for concurrent use (it wraps sync.Pool), so parallel
-// contractions share one cache.
+// the next run. Safe for concurrent use (it wraps sync.Pool; a deterministic
+// locked LIFO under fastcc_checked), so parallel contractions share one
+// cache.
 type ChunkCache[T any] struct {
 	chunkLen int
 	pool     sync.Pool
+	dropped  atomic.Uint64
+	ck       checkedCache[T] // zero-sized unless built with fastcc_checked
 }
 
 // NewChunkCache returns a cache of chunks with the given length; <= 0
@@ -140,9 +164,7 @@ func NewChunkCache[T any](chunkLen int) *ChunkCache[T] {
 	if chunkLen <= 0 {
 		chunkLen = DefaultChunkLen
 	}
-	c := &ChunkCache[T]{chunkLen: chunkLen}
-	c.pool.New = func() any { return make([]T, 0, chunkLen) }
-	return c
+	return &ChunkCache[T]{chunkLen: chunkLen}
 }
 
 // NewPool returns an empty Pool whose chunks come from (and may return to)
@@ -151,19 +173,38 @@ func (c *ChunkCache[T]) NewPool() *Pool[T] {
 	return &Pool[T]{chunkLen: c.chunkLen, cache: c}
 }
 
-func (c *ChunkCache[T]) get() []T { return c.pool.Get().([]T)[:0] }
+func (c *ChunkCache[T]) get() []T {
+	if b, ok := c.unpark(); ok {
+		return b
+	}
+	b := make([]T, 0, c.chunkLen)
+	c.noteVended(b)
+	return b
+}
+
+// Dropped reports how many chunks Release rejected instead of recycling:
+// wrong-capacity storage always, and storage this cache never vended under
+// fastcc_checked. A nonzero count means some caller is feeding the cache
+// chunks it does not own — recycling those would hand one run's live memory
+// to another.
+func (c *ChunkCache[T]) Dropped() uint64 { return c.dropped.Load() }
 
 // Release returns all chunk storage of l to the cache and empties l. Call
 // only when every element has been copied out: the chunks will be handed to
-// future pools and overwritten.
+// future pools and overwritten. Wrong-capacity or foreign chunks are not
+// recycled — they are dropped for the garbage collector and counted in
+// Dropped, because a chunk the cache cannot vouch for may still be
+// referenced by its real owner.
 func (c *ChunkCache[T]) Release(l *List[T]) {
 	if l == nil {
 		return
 	}
 	for _, ch := range l.chunks {
-		if cap(ch) == c.chunkLen {
-			c.pool.Put(ch[:0])
+		if cap(ch) != c.chunkLen || !c.vended(ch) {
+			c.dropped.Add(1)
+			continue
 		}
+		c.park(ch[:0])
 	}
 	l.chunks = nil
 	l.n = 0
@@ -217,24 +258,29 @@ func (f *Freelist[K, V]) Put(k K, v V) {
 // SlicePool recycles variable-capacity scratch slices (the engine's
 // de-linearization buffers). Safe for concurrent use.
 type SlicePool[T any] struct {
-	pool sync.Pool
+	pool    sync.Pool
+	dropped atomic.Uint64
+	ck      checkedSlice[T] // zero-sized unless built with fastcc_checked
 }
 
 // Get returns an empty slice with capacity at least capHint, recycled when
 // a large-enough one is parked.
 func (s *SlicePool[T]) Get(capHint int) []T {
-	if v := s.pool.Get(); v != nil {
-		b := v.([]T)
-		if cap(b) >= capHint {
-			return b[:0]
-		}
+	if b, ok := s.unpark(); ok && cap(b) >= capHint {
+		return b
 	}
 	return make([]T, 0, capHint)
 }
 
-// Put parks b for reuse; the caller must not retain it.
+// Put parks b for reuse; the caller must not retain it. Zero-capacity
+// slices carry no storage worth parking and are dropped with a count.
 func (s *SlicePool[T]) Put(b []T) {
-	if cap(b) > 0 {
-		s.pool.Put(b[:0])
+	if cap(b) == 0 {
+		s.dropped.Add(1)
+		return
 	}
+	s.park(b[:0])
 }
+
+// Dropped reports how many Put calls were rejected (zero-capacity slices).
+func (s *SlicePool[T]) Dropped() uint64 { return s.dropped.Load() }

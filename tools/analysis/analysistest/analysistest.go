@@ -16,7 +16,17 @@
 //
 // Fixture packages are type-checked against the standard library via the
 // source importer (offline: it parses $GOROOT/src), so they may import std
-// packages such as sync or sync/atomic but nothing else.
+// packages such as sync or sync/atomic.
+//
+// Fixtures may also depend on each other: Run compiles the named fixture
+// packages in argument order and registers each under its directory name, so
+// a later fixture can `import "mempool"` when testdata/src/mempool was named
+// first. Dependency fixtures let analyzers that key on package names
+// (poolescape on mempool, sealedmut on hashtable/core) see realistic typed
+// call sites without importing the real module, mirroring x/tools
+// analysistest's GOPATH-style fixture imports. The analyzer runs over
+// dependency fixtures too, so they can carry `want` expectations (or assert
+// cleanliness by carrying none).
 package analysistest
 
 import (
@@ -60,6 +70,20 @@ func stdImporter() types.Importer {
 	return sharedImp
 }
 
+// fixtureImporter resolves imports against already-compiled sibling fixture
+// packages first, falling back to the shared stdlib source importer.
+type fixtureImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.local[path]; ok {
+		return p, nil
+	}
+	return fi.std.Import(path)
+}
+
 type expectation struct {
 	re      *regexp.Regexp
 	matched bool
@@ -72,13 +96,17 @@ var wantArgRe = regexp.MustCompile("`([^`]*)`")
 // analyzer, and reports mismatches through t.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, fixtures ...string) {
 	t.Helper()
+	imp := fixtureImporter{local: map[string]*types.Package{}, std: stdImporter()}
 	for _, name := range fixtures {
 		dir := filepath.Join(testdata, "src", name)
-		runDir(t, dir, a)
+		pkg := runDir(t, dir, a, imp)
+		if pkg != nil {
+			imp.local[name] = pkg
+		}
 	}
 }
 
-func runDir(t *testing.T, dir string, a *framework.Analyzer) {
+func runDir(t *testing.T, dir string, a *framework.Analyzer, imp types.Importer) *types.Package {
 	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -107,8 +135,10 @@ func runDir(t *testing.T, dir string, a *framework.Analyzer) {
 	}
 
 	info := framework.NewTypesInfo()
-	conf := types.Config{Importer: stdImporter()}
-	pkg, err := conf.Check(files[0].Name.Name, sharedFset, files, info)
+	conf := types.Config{Importer: imp}
+	// The import path is the fixture directory's name, so sibling fixtures
+	// can import this one by that name.
+	pkg, err := conf.Check(filepath.Base(dir), sharedFset, files, info)
 	if err != nil {
 		t.Fatalf("type-checking fixture %s: %v", dir, err)
 	}
@@ -161,6 +191,7 @@ func runDir(t *testing.T, dir string, a *framework.Analyzer) {
 			}
 		}
 	}
+	return pkg
 }
 
 func parseExpectations(t *testing.T, src string) map[int][]*expectation {

@@ -4,12 +4,12 @@ package a
 
 type sink struct{}
 
-func (sink) Close() error                 { return nil }
-func (sink) Flush() error                 { return nil }
-func (sink) Sync() error                  { return nil }
-func (sink) Write(p []byte) (int, error)  { return len(p), nil }
+func (sink) Close() error                      { return nil }
+func (sink) Flush() error                      { return nil }
+func (sink) Sync() error                       { return nil }
+func (sink) Write(p []byte) (int, error)       { return len(p), nil }
 func (sink) WriteString(s string) (int, error) { return len(s), nil }
-func (sink) Unlock()                      {}
+func (sink) Unlock()                           {}
 
 func bad(s sink) {
 	s.Close()         // want `error result of sink.Close is discarded`

@@ -128,6 +128,42 @@ func (s Suppressions) Allows(fset *token.FileSet, d Diagnostic) bool {
 	return names["all"] || names[d.Analyzer]
 }
 
+// CollectLineMarkers records, per file, the lines covered by a
+// //fastcc:<marker> comment. Like //fastcc:allow directives, a marker covers
+// its own line and the line below, so it can sit at the end of the marked
+// statement or alone just above it. Analyzers use this for ownership
+// directives such as //fastcc:owned (poolescape) that are assertions about
+// the code rather than suppressions of a finding class.
+func CollectLineMarkers(fset *token.FileSet, files []*ast.File, marker string) map[string]map[int]bool {
+	want := "fastcc:" + marker
+	out := map[string]map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, want) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// MarkedAt reports whether the marker map collected by CollectLineMarkers
+// covers the given position.
+func MarkedAt(fset *token.FileSet, markers map[string]map[int]bool, pos token.Pos) bool {
+	p := fset.Position(pos)
+	return markers[p.Filename][p.Line]
+}
+
 // FuncHasMarker reports whether the function declaration carries the given
 // //fastcc:<marker> directive in its doc comment (e.g. "hotpath").
 func FuncHasMarker(fn *ast.FuncDecl, marker string) bool {

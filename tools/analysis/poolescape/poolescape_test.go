@@ -1,0 +1,14 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"fastcc/tools/analysis/analysistest"
+	"fastcc/tools/analysis/poolescape"
+)
+
+func TestPoolEscape(t *testing.T) {
+	// The mempool fixture is compiled first so "a" can import it; it carries
+	// no expectations of its own (the stub bodies must be clean).
+	analysistest.Run(t, analysistest.TestData(), poolescape.Analyzer, "mempool", "a")
+}

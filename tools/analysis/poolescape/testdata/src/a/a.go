@@ -1,0 +1,91 @@
+// Fixture for poolescape: recycled memory escaping into struct fields,
+// returns and goroutines, in the style of the engine's SlicePool/Freelist
+// usage.
+package a
+
+import "mempool"
+
+var scratch mempool.SlicePool[uint64]
+var accFree mempool.Freelist[int, []float64]
+
+type holder struct {
+	buf  []uint64
+	accs []float64
+}
+
+func storesField(h *holder) {
+	b := scratch.Get(8)
+	h.buf = b // want `stored in struct field buf`
+	scratch.Put(b)
+}
+
+func storesFieldDirect(h *holder) {
+	h.buf = scratch.Get(8) // want `stored in struct field buf`
+}
+
+func storesSlicedField(h *holder) {
+	h.buf = scratch.Get(8)[:4] // want `stored in struct field buf`
+}
+
+func compositeField() *holder {
+	return &holder{buf: scratch.Get(4)} // want `stored in struct field buf`
+}
+
+func returnsPooled() []uint64 {
+	b := scratch.Get(8)
+	return b // want `returned from returnsPooled`
+}
+
+func returnsAlias() []uint64 {
+	b := scratch.Get(8)
+	alias := b
+	return alias // want `returned from returnsAlias`
+}
+
+func returnsFreelistValue() []float64 {
+	acc, ok := accFree.Get(0)
+	if !ok {
+		return nil
+	}
+	return acc // want `returned from returnsFreelistValue`
+}
+
+func goroutineCapture() {
+	b := scratch.Get(8)
+	go func() { // want `captures pool-obtained "b"`
+		b = append(b, 1)
+	}()
+}
+
+func goroutineArg(fn func([]uint64)) {
+	b := scratch.Get(8)
+	go fn(b) // want `passed to a goroutine`
+}
+
+func ownedTransfer(h *holder) {
+	// The annotated form: the holder owns the buffer until its own release
+	// hook runs; the annotation documents (and suppresses) the transfer.
+	h.buf = scratch.Get(8) //fastcc:owned -- holder owns buf until holder.release returns it
+}
+
+func allowSuppression() []uint64 {
+	b := scratch.Get(8)
+	return b //fastcc:allow poolescape -- fixture exercising the generic suppression path
+}
+
+func properUse(n int) uint64 {
+	b := scratch.Get(n)
+	for i := 0; i < n; i++ {
+		b = append(b, uint64(i))
+	}
+	var sum uint64
+	for _, v := range b {
+		sum += v
+	}
+	scratch.Put(b)
+	return sum // scalar derived from the buffer: fine
+}
+
+func freshAllocation() []uint64 {
+	return make([]uint64, 8) // not pool-obtained: fine
+}

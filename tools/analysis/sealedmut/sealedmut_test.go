@@ -1,0 +1,14 @@
+package sealedmut_test
+
+import (
+	"testing"
+
+	"fastcc/tools/analysis/analysistest"
+	"fastcc/tools/analysis/sealedmut"
+)
+
+func TestSealedMut(t *testing.T) {
+	// hashtable and core fixtures are compiled first so "a" can import them;
+	// they carry no expectations (type declarations only).
+	analysistest.Run(t, analysistest.TestData(), sealedmut.Analyzer, "hashtable", "core", "a")
+}

@@ -1,0 +1,65 @@
+// Fixture for sealedmut: writes through sealed structures outside their
+// //fastcc:sealer constructors.
+package a
+
+import (
+	"core"
+	"hashtable"
+)
+
+func mutatesSealedField(s *hashtable.Sealed) {
+	s.Keys = nil // want `write to hashtable.Sealed field Keys`
+}
+
+func mutatesSealedElement(s *hashtable.Sealed) {
+	s.Keys[0] = 7 // want `write to hashtable.Sealed field Keys`
+}
+
+func mutatesSealedViaAppend(s *hashtable.Sealed) {
+	s.Pairs = append(s.Pairs, hashtable.Pair{}) // want `write to hashtable.Sealed field Pairs`
+}
+
+func mutatesSealedOpAssign(s hashtable.Sealed) {
+	s.Gen += 1 // want `write to hashtable.Sealed field Gen`
+}
+
+func mutatesSealedIncDec(s *hashtable.Sealed) {
+	s.Gen++ // want `write to hashtable.Sealed field Gen`
+}
+
+func mutatesShard(sh *core.Shard) {
+	sh.NonEmptyTiles = append(sh.NonEmptyTiles, 3) // want `write to core.Shard field NonEmptyTiles`
+	sh.PairTotal++                                 // want `write to core.Shard field PairTotal`
+}
+
+// seal is the sealing constructor: the one place writes are legal.
+//
+//fastcc:sealer
+func seal(keys []uint64) *hashtable.Sealed {
+	s := &hashtable.Sealed{}
+	s.Keys = keys
+	for i := range s.Keys {
+		s.Keys[i] = s.Keys[i] * 2
+	}
+	s.Gen = 1
+	return s
+}
+
+func allowedWrite(s *hashtable.Sealed) {
+	s.Gen = 0 //fastcc:allow sealedmut -- fixture resets a table it exclusively owns
+}
+
+// ownedWrite exercises the //fastcc:owned statement-granularity suppression:
+// the value has not been published to concurrent readers yet.
+func ownedWrite(keys []uint64) *hashtable.Sealed {
+	s := &hashtable.Sealed{}
+	s.Keys = keys //fastcc:owned -- s is function-local, unpublished until return
+	return s
+}
+
+func readsAreFine(s *hashtable.Sealed, sh *core.Shard) int {
+	n := s.Len() + len(s.Keys) + len(sh.NonEmptyTiles)
+	local := struct{ Keys []uint64 }{}
+	local.Keys = s.Keys // writing an unrelated struct's field: fine
+	return n + len(local.Keys)
+}

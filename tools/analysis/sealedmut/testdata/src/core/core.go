@@ -1,0 +1,9 @@
+// Package core mirrors the shard shape of fastcc/internal/core for
+// sealedmut fixtures.
+package core
+
+// Shard is the built tile-table set stub.
+type Shard struct {
+	NonEmptyTiles []int
+	PairTotal     int
+}

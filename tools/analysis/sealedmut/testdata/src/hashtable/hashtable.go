@@ -1,0 +1,20 @@
+// Package hashtable mirrors the sealed-table shape of
+// fastcc/internal/hashtable for sealedmut fixtures. Fields are exported so
+// the fixture package can form writes to them; the analyzer keys on the
+// package name and type name, not on field visibility.
+package hashtable
+
+// Pair is one (intra-tile index, value) entry.
+type Pair struct {
+	Idx uint32
+	Val float64
+}
+
+// Sealed is the read-only SoA table stub.
+type Sealed struct {
+	Keys  []uint64
+	Pairs []Pair
+	Gen   uint32
+}
+
+func (s *Sealed) Len() int { return len(s.Keys) }

@@ -1,0 +1,128 @@
+// Package spanarith flags index and slice-bound arithmetic performed in
+// integer types narrower than 64 bits.
+//
+// The sealed-shard layer addresses its pair arenas with {off, len} spans
+// stored as int32 (hashtable.Span), and linearized tile indices flow through
+// uint32 intra-tile coordinates. Arithmetic carried out *in* those narrow
+// types — pairs[sp.Off : sp.Off+sp.Len], a[off*stride] with uint32 operands
+// — wraps silently once arenas or strides grow past the narrow type's range,
+// and the wrapped value then indexes the wrong (but usually in-bounds)
+// memory: no panic, no race report, just corrupt spans. This is the span
+// sibling of linovf, which polices dimension products in the 64-bit domain.
+//
+// The rule is type-directed and narrow on purpose: a diagnostic fires only
+// when a +, - or * expression whose *static type* is a sized integer
+// narrower than 64 bits (int8/16/32, uint8/16/32) appears inside an index or
+// slice bound of an array, slice or string. The fix is to widen the operands
+// before the arithmetic —
+//
+//	pairs[int(sp.Off) : int(sp.Off)+int(sp.Len)]
+//
+// (or route through a checked helper that does so, like the sealed table's
+// span accessors). Indexing with a narrow *value* (a[off] with off int32) is
+// fine: the conversion to int is exact, only narrow-domain arithmetic wraps.
+// Proven-impossible wraps are annotated //fastcc:allow spanarith -- reason,
+// or with the //fastcc:owned line marker (shared with poolescape) when the
+// suppression is an ownership claim: the annotated site's owner bounds the
+// operands by construction (e.g. spans its own sealer validated).
+package spanarith
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fastcc/tools/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "spanarith",
+	Doc:  "flags index/slice-bound arithmetic performed in sub-64-bit integer types (span overflow)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	owned := framework.CollectLineMarkers(pass.Fset, pass.Files, "owned")
+	pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			if indexable(pass.TypesInfo, n.X) {
+				checkBound(pass, n.Index, "index", owned)
+			}
+		case *ast.SliceExpr:
+			if indexable(pass.TypesInfo, n.X) {
+				checkBound(pass, n.Low, "slice bound", owned)
+				checkBound(pass, n.High, "slice bound", owned)
+				checkBound(pass, n.Max, "slice bound", owned)
+			}
+		}
+	})
+	return nil
+}
+
+// checkBound reports the first +, - or * subexpression of e whose static
+// type is a sized integer narrower than 64 bits.
+func checkBound(pass *framework.Pass, e ast.Expr, where string, owned map[string]map[int]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch b.Op {
+		case token.ADD, token.SUB, token.MUL:
+		default:
+			return true
+		}
+		if framework.MarkedAt(pass.Fset, owned, b.Pos()) {
+			return false
+		}
+		if name := narrowInt(pass.TypesInfo.TypeOf(b)); name != "" {
+			pass.Reportf(b.Pos(),
+				"%s arithmetic performed in %s may wrap before widening; widen the operands to int first (e.g. int(off)+int(n)) or use a checked span helper (or annotate //fastcc:allow spanarith with a reason)",
+				where, name)
+			return false
+		}
+		return true
+	})
+}
+
+// narrowInt returns the type's name when it is a sized integer narrower
+// than 64 bits, and "" otherwise. int and uint are platform-word sized and
+// treated as 64-bit: indexing math in them is the fix, not the bug.
+func narrowInt(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch b.Kind() {
+	case types.Int8, types.Int16, types.Int32, types.Uint8, types.Uint16, types.Uint32:
+		return b.Name()
+	}
+	return ""
+}
+
+// indexable reports whether x is an array, slice, pointer-to-array or
+// string — the types where a wrapped index reads wrong memory. Map keys and
+// generic type parameters are out of scope.
+func indexable(info *types.Info, x ast.Expr) bool {
+	t := info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package spanarith_test
+
+import (
+	"testing"
+
+	"fastcc/tools/analysis/analysistest"
+	"fastcc/tools/analysis/spanarith"
+)
+
+func TestSpanArith(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), spanarith.Analyzer, "a")
+}

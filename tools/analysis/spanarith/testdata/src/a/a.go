@@ -1,0 +1,56 @@
+// Fixture for spanarith: index and slice-bound arithmetic in narrow integer
+// types, in the style of the sealed arena's {off, len} span math.
+package a
+
+type span struct {
+	off, n int32
+}
+
+type pair struct {
+	idx uint32
+	val float64
+}
+
+func rawSpan(pairs []pair, sp span) []pair {
+	return pairs[sp.off : sp.off+sp.n] // want `slice bound arithmetic performed in int32`
+}
+
+func widenedSpan(pairs []pair, sp span) []pair {
+	return pairs[int(sp.off) : int(sp.off)+int(sp.n)] // widened before the add: fine
+}
+
+func rawIndexMul(a []float64, off, step uint32) float64 {
+	return a[off*step] // want `index arithmetic performed in uint32`
+}
+
+func widenedIndexMul(a []float64, off, step uint32) float64 {
+	return a[uint64(off)*uint64(step)] // widened before the multiply: fine
+}
+
+func rawIndexAdd(a []byte, base, delta uint16) byte {
+	return a[base+delta] // want `index arithmetic performed in uint16`
+}
+
+func narrowValueIndex(a []float64, off int32) float64 {
+	return a[off] // narrow value, no narrow arithmetic: fine
+}
+
+func intArithmetic(a []float64, i, j int) float64 {
+	return a[i+j] // int-domain arithmetic is the fix, not the bug: fine
+}
+
+func mapKey(m map[uint32]int, off, step uint32) int {
+	return m[off*step] // map keys cannot read out of bounds: fine
+}
+
+func shiftBound(a []uint64, i uint32) uint64 {
+	return a[i>>2] // shifts only narrow, they do not wrap: fine
+}
+
+func allowed(pairs []pair, sp span) []pair {
+	return pairs[sp.off : sp.off+sp.n] //fastcc:allow spanarith -- arena bounded to 2^20 pairs at seal time
+}
+
+func ownedSpan(pairs []pair, sp span) []pair {
+	return pairs[sp.off : sp.off+sp.n] //fastcc:owned -- sp was range-checked by the sealer that owns the arena
+}
