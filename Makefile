@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test test-checked race vet fuzz-smoke bench-smoke bench-reuse bench-buildscale ci
+.PHONY: build test test-checked race vet test-lifecycle fuzz-smoke bench-smoke bench-reuse bench-buildscale ci
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,17 @@ race:
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/fastcc-vet ./...
+
+# Shard-cache lifecycle gate: the concurrent Drop/eviction soak and the
+# core lifecycle suite under the race detector, then again under the
+# sanitizer build so pin-protocol violations become generation-stamp
+# panics instead of silent corruption (see DESIGN.md, "Shard lifecycle
+# & eviction").
+test-lifecycle:
+	$(GO) test -race -short -run 'TestLifecycleStress|TestPreparedDrop' .
+	$(GO) test -race -short ./internal/core -run 'TestShard|TestEviction|TestClose|TestWarm|TestCache'
+	$(GO) test -tags fastcc_checked -short -run 'TestLifecycleStress|TestPreparedDrop' .
+	$(GO) test -tags fastcc_checked -short ./internal/core -run 'TestShard|TestEviction|TestClose|TestWarm|TestCache|TestUnpinned'
 
 # Short fuzz of every existing Fuzz* target; go test -fuzz takes one
 # target per package per invocation. The contraction fuzzer runs a second
@@ -61,4 +72,4 @@ bench-buildscale:
 bench-reuse:
 	$(GO) run ./cmd/fastcc-bench -exp reuse -scale-frostt 0.002 -repeats 7 -platform desktop8 > BENCH_reuse.json
 
-ci: build vet test test-checked race fuzz-smoke bench-smoke
+ci: build vet test test-checked race test-lifecycle fuzz-smoke bench-smoke

@@ -144,6 +144,7 @@ type options struct {
 	counters     *metrics.Counters
 	rep          core.InputRep
 	ctx          context.Context
+	shardBudget  int64
 }
 
 // resolveOptions applies the options in order and validates the combination
@@ -219,6 +220,26 @@ func WithInputRep(rep InputRep) Option { return func(o *options) { o.rep = rep }
 // the context's error wrapped. See also ContractContext.
 func WithContext(ctx context.Context) Option { return func(o *options) { o.ctx = ctx } }
 
+// WithShardBudget bounds the process-wide cache of built tile shards (the
+// tables Preshard/ContractPrepared reuse across runs) to the given byte
+// budget: when resident shards exceed it, the least recently used unpinned
+// shards are evicted and their storage recycled; shards pinned by in-flight
+// contractions are never touched. bytes > 0 sets an explicit budget,
+// bytes < 0 disables eviction entirely, and 0 (the default) derives a budget
+// from the platform's last-level cache size. The budget is applied at the
+// start of the run carrying this option and stays in force until another run
+// sets a different one.
+func WithShardBudget(bytes int64) Option { return func(o *options) { o.shardBudget = bytes } }
+
+// CacheStats is a point-in-time view of the shard cache: hit/miss/eviction
+// counters plus resident and pinned byte gauges. See ShardCacheStats.
+type CacheStats = metrics.CacheSnapshot
+
+// ShardCacheStats reports the process-wide shard cache's lifecycle counters
+// and resident-state gauges — the observability hook for tuning
+// WithShardBudget.
+func ShardCacheStats() CacheStats { return core.CacheStats() }
+
 // Contract contracts l and r per spec and returns the output tensor (in
 // COO, sorted order unspecified, duplicates absent) together with run
 // statistics. Each call linearizes and shards its operands transiently; to
@@ -249,12 +270,17 @@ func Contract(l, r *Tensor, spec Spec, opts ...Option) (*Tensor, *Stats, error) 
 	if err != nil {
 		return nil, nil, err
 	}
+	// The operands are transient — nothing will ever reuse their shards, so
+	// drop them on the way out rather than letting dead tables occupy the
+	// shard-cache budget until eviction notices.
+	defer lsh.Drop()
 	rsh := lsh
 	if !(r == l && sameModes(spec.CtrLeft, spec.CtrRight)) {
 		rsh, err = preshardValidated(r, spec.CtrRight)
 		if err != nil {
 			return nil, nil, err
 		}
+		defer rsh.Drop()
 	}
 	return contractSharded(lsh, rsh, &o, time.Since(t0))
 }

@@ -8,4 +8,5 @@ package core
 type checkedShard struct{}
 
 func (s *Shard) stampBuilt()       {}
+func (s *Shard) stampRetired()     {}
 func (s *Shard) checkBuilt(string) {}

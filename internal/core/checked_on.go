@@ -9,20 +9,31 @@ package core
 
 import "fmt"
 
-// shardBuiltGen marks a Shard whose build completed. The zero value's 0
-// fails checkBuilt.
-const shardBuiltGen uint32 = 0x5A4DB001
+// shardBuiltGen marks a Shard whose build completed; shardRetiredGen marks
+// one whose storage was reclaimed by eviction or Drop. The zero value's 0
+// fails checkBuilt like any other non-live stamp.
+const (
+	shardBuiltGen   uint32 = 0x5A4DB001
+	shardRetiredGen uint32 = 0x5A4DDEAD
+)
 
 type checkedShard struct {
 	gen uint32
 }
 
-func (s *Shard) stampBuilt() { s.ck.gen = shardBuiltGen }
+func (s *Shard) stampBuilt()   { s.ck.gen = shardBuiltGen }
+func (s *Shard) stampRetired() { s.ck.gen = shardRetiredGen }
 
 func (s *Shard) checkBuilt(op string) {
-	if s.ck.gen != shardBuiltGen {
+	switch s.ck.gen {
+	case shardBuiltGen:
+	case shardRetiredGen:
 		panic(fmt.Sprintf(
-			"core.Shard.%s: generation check failed (gen=%#x, want %#x): shard build never completed or shard was recycled",
+			"core.Shard.%s: generation check failed (gen=%#x): shard was recycled — a reader reached a retired shard's tables without holding a pin",
+			op, s.ck.gen))
+	default:
+		panic(fmt.Sprintf(
+			"core.Shard.%s: generation check failed (gen=%#x, want %#x): shard build never completed",
 			op, s.ck.gen, shardBuiltGen))
 	}
 }

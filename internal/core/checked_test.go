@@ -38,10 +38,12 @@ func TestBuiltShardPassesGenerationCheck(t *testing.T) {
 		ExtDim: 4, CtrDim: 4,
 	}
 	op := NewOperand(m)
+	defer op.Close()
 	s, built := op.Shard(ShardKey{Tile: 2, Rep: RepHash}, 1)
 	if !built {
 		t.Fatal("first Shard call did not build")
 	}
+	defer s.Unpin()
 	for i := 0; i < s.Tiles(); i++ {
 		_ = s.sealedAt(i)
 	}

@@ -52,6 +52,11 @@ type Config struct {
 	// Rep selects the input-tile representation: the paper's hash tables
 	// (default) or the sorted-array ablation.
 	Rep InputRep
+	// CacheBudget bounds the process-wide shard cache in bytes: > 0 is an
+	// explicit budget, < 0 disables eviction, 0 derives the default from the
+	// platform LLC (L3Bytes × DefaultBudgetLLCMultiple). Applied — and
+	// enforced — at the start of every run; the last run's setting wins.
+	CacheBudget int64
 	// Context, when non-nil, cancels the run cooperatively: it is checked
 	// between stages and at tile-task boundaries, and the run returns
 	// Context.Err() wrapped.
@@ -108,11 +113,21 @@ var workerFree = mempool.NewFreelist[accKey, *worker](0)
 
 // Contract runs the tiled-CO contraction O[l,r] = Σ_c L[l,c]·R[c,r] on
 // matrixized operands and returns the output as a concatenated chunk list
-// of triples. The operands are sharded transiently — nothing is cached
-// across calls; callers that contract the same operand repeatedly should
+// of triples. The operands are sharded transiently — the shards are dropped
+// before returning, so one-shot contractions leave nothing charged to the
+// shard cache; callers that contract the same operand repeatedly should
 // wrap it once with NewOperand and use ContractOperands.
 func Contract(l, r *coo.Matrix, cfg Config) (*mempool.List[Triple], *Stats, error) {
-	return ContractOperands(NewOperand(l), NewOperand(r), cfg)
+	lo := NewOperand(l)
+	ro := lo
+	if r != l {
+		ro = NewOperand(r)
+	}
+	defer lo.Close()
+	if ro != lo {
+		defer ro.Close()
+	}
+	return ContractOperands(lo, ro, cfg)
 }
 
 // ContractOperands is Contract over shard-caching operands: each side's
@@ -123,6 +138,8 @@ func ContractOperands(l, r *Operand, cfg Config) (*mempool.List[Triple], *Stats,
 	if cfg.Platform == (model.Platform{}) {
 		cfg.Platform = model.Auto()
 	}
+	// (Re)apply this run's shard-cache budget before any build charges it.
+	shardLRU.setBudget(resolveBudget(cfg.CacheBudget, cfg.Platform))
 	threads := scheduler.Workers(cfg.Threads)
 	st := &Stats{Threads: threads}
 
@@ -142,9 +159,16 @@ func ContractOperands(l, r *Operand, cfg Config) (*mempool.List[Triple], *Stats,
 
 	// Build stage: fetch or construct the two shards. BuildTime stays zero
 	// on a full cache hit — the amortization the prepared-operand API
-	// exists to deliver.
+	// exists to deliver. Both shards come back pinned; the run-level pins
+	// are released when the run ends (a self-contraction holds one pin on
+	// its single shard), keeping eviction away from the tables until every
+	// worker has also released its own guard pins.
 	ls, rs, builtL, builtR := buildShards(l, r, ShardKey{Tile: tl, Rep: cfg.Rep}, ShardKey{Tile: tr, Rep: cfg.Rep}, threads, st)
 	st.ShardReusedL, st.ShardReusedR = !builtL, !builtR
+	defer ls.Unpin()
+	if rs != ls {
+		defer rs.Unpin()
+	}
 
 	if err := cfg.ctx().Err(); err != nil {
 		return nil, nil, canceled(err)
@@ -270,13 +294,28 @@ func execute(ls, rs *Shard, dec model.Decision, threads int, cfg Config, st *Sta
 	}
 	st.BlockL, st.BlockR, st.Blocks = bl, br, blocksTotal
 	ctx := cfg.ctx()
-	err := scheduler.PoolCtxBatch(ctx, threads, blocksTotal, scheduler.ClaimBatch(blocksTotal, threads), func(w, b int) {
+	// Per-worker shard pins: each pool worker pins both shards before its
+	// first claim and releases on exit (deferred inside the scheduler, so
+	// cancellation and panics cannot leak a pin). The run-level pins in
+	// ContractOperands already keep the shards alive; the guard makes the
+	// reader set explicit — PinnedBytes reflects active workers, and the
+	// refcount, not the caller's discipline, is what stands between a
+	// concurrent Drop and the tables contractTilePair is reading.
+	guard := scheduler.Guard{
+		Acquire: func(int) { ls.mustPin(); rs.mustPin() },
+		Release: func(int) { rs.Unpin(); ls.Unpin() },
+	}
+	err := scheduler.PoolCtxBatchGuarded(ctx, threads, blocksTotal, scheduler.ClaimBatch(blocksTotal, threads), guard, func(w, b int) {
 		wk := workers[w]
 		if wk == nil {
 			if parked, ok := workerFree.Get(wkey); ok {
 				wk = parked
 			} else {
 				wk = newWorker(dec.Kind, tl, tr, sparseHint)
+				// Bind the fresh accumulator to its shape key so a future
+				// Put under any other key is a provenance panic in checked
+				// builds, not a wrong-shaped vend.
+				workerFree.Note(wkey, wk)
 			}
 			workers[w] = wk
 			pools[w] = outputChunks.NewPool()

@@ -9,6 +9,7 @@ import (
 	"fastcc/internal/metrics"
 	"fastcc/internal/model"
 	"fastcc/internal/ref"
+	"fastcc/internal/testutil"
 )
 
 // randomMatrix builds a matrixized operand with nnz random entries (values
@@ -266,4 +267,23 @@ func TestModelDrivenRunPicksConfiguredPlatform(t *testing.T) {
 	if st.Decision.Kind != model.AccumDense {
 		t.Fatalf("dense-ish workload should pick dense, got %v (ENNZ=%g)", st.Decision.Kind, st.Decision.ENNZ)
 	}
+}
+
+// TestContractOutputChunksReturnToBaseline wires the leak-accounting helper
+// into the engine suite: every output chunk Contract vends must come back
+// through RecycleOutput, across both cold and warm runs. A drifting gauge
+// here means a contraction path dropped a List on the floor.
+func TestContractOutputChunksReturnToBaseline(t *testing.T) {
+	base := testutil.Capture(testutil.Gauge{Name: "output chunks", Read: OutputChunksOutstanding})
+	rng := rand.New(rand.NewSource(77))
+	l := randomMatrix(rng, 120, 40, 900)
+	r := randomMatrix(rng, 150, 40, 900)
+	for i := 0; i < 3; i++ {
+		out, _, err := Contract(l, r, Config{Threads: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		RecycleOutput(out)
+	}
+	base.Assert(t)
 }

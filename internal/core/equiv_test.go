@@ -145,23 +145,111 @@ func TestShardReuseBitIdentity(t *testing.T) {
 	}
 }
 
+// TestEvictionEquivalence is the lifecycle acceptance test: contract,
+// force-evict everything with a 1-byte budget, contract again over the
+// rebuilt shards, and demand bit-identical output — for every
+// {representation × accumulator} combination, plus a run whose own
+// adversarially small CacheBudget forces rebuilds on every call.
+func TestEvictionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	lm := randomMatrix(rng, 300, 40, 2500)
+	rm := randomMatrix(rng, 260, 40, 2000)
+
+	type combo struct {
+		name string
+		rep  InputRep
+		acc  model.AccumKind
+	}
+	combos := []combo{
+		{"hash/dense", RepHash, model.AccumDense},
+		{"hash/sparse", RepHash, model.AccumSparse},
+		{"sorted/dense", RepSorted, model.AccumDense},
+		{"sorted/sparse", RepSorted, model.AccumSparse},
+	}
+	for _, c := range combos {
+		l, r := NewOperand(lm), NewOperand(rm)
+		cfg := Config{Threads: 4, TileL: 17, TileR: 32, Accum: c.acc, Rep: c.rep, Platform: tinyLLC}
+		run := func(cfg Config) (*coo.Tensor, *Stats) {
+			out, st, err := ContractOperands(l, r, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			var ls, rs []uint64
+			var vs []float64
+			out.ForEach(func(tr Triple) { ls = append(ls, tr.L); rs = append(rs, tr.R); vs = append(vs, tr.V) })
+			tn := ref.TriplesToMatrixTensor(ls, rs, vs, lm.ExtDim, rm.ExtDim)
+			tn.Sort()
+			return tn, st
+		}
+		cold, _ := run(cfg)
+
+		// Force-evict every resident shard, then rebuild.
+		before := CacheStats()
+		SetShardBudget(1)
+		if after := CacheStats(); after.Evictions <= before.Evictions {
+			t.Fatalf("%s: 1-byte budget evicted nothing (%d -> %d)", c.name, before.Evictions, after.Evictions)
+		}
+		rebuilt, st := run(cfg)
+		if st.ShardReusedL || st.ShardReusedR {
+			t.Fatalf("%s: post-eviction run claims shard reuse", c.name)
+		}
+		assertBitIdentical(t, c.name+" rebuilt", cold, rebuilt)
+
+		// Adversarially small per-run budget: every run rebuilds both shards
+		// (they are evicted as soon as the run's pins drop), and the result
+		// must still match.
+		tight := cfg
+		tight.CacheBudget = 1
+		squeezed, _ := run(tight)
+		assertBitIdentical(t, c.name+" squeezed", cold, squeezed)
+
+		l.Close()
+		r.Close()
+	}
+	SetShardBudget(-1)
+}
+
+// assertBitIdentical demands the same sorted coordinates and identical
+// float64 bit patterns.
+func assertBitIdentical(t *testing.T, what string, want, got *coo.Tensor) {
+	t.Helper()
+	if !coo.Equal(want, got) {
+		t.Fatalf("%s: output differs", what)
+	}
+	for i := range want.Vals {
+		if want.Vals[i] != got.Vals[i] {
+			t.Fatalf("%s: value bits differ at %d", what, i)
+		}
+	}
+}
+
 // FuzzContractTiling throws arbitrary tile geometries at the pipeline —
 // including tile sides that do not divide the extents and non-empty counts
 // that do not divide the block sides — and checks both representations
-// against the reference. Seeds pin the partial-edge-block cases.
+// against the reference. Seeds pin the partial-edge-block cases; the budget
+// seeds force mid-sequence eviction (shards reclaimed between the hash and
+// sorted runs) through adversarially small CacheBudget values.
 func FuzzContractTiling(f *testing.F) {
-	f.Add(int64(1), uint16(100), uint16(90), uint16(30), uint16(7), uint16(13), uint16(600))
-	f.Add(int64(2), uint16(257), uint16(129), uint16(17), uint16(16), uint16(16), uint16(900)) // pow2 tiles, odd extents
-	f.Add(int64(3), uint16(64), uint16(64), uint16(8), uint16(64), uint16(64), uint16(200))    // single tile
-	f.Add(int64(4), uint16(500), uint16(3), uint16(50), uint16(1), uint16(1), uint16(800))     // 1x1 tiles, skewed grid
-	f.Add(int64(5), uint16(33), uint16(470), uint16(25), uint16(10), uint16(100), uint16(700)) // blocks clip at both edges
-	f.Fuzz(func(t *testing.T, seed int64, extL16, extR16, ctr16, tl16, tr16, nnz16 uint16) {
+	f.Add(int64(1), uint16(100), uint16(90), uint16(30), uint16(7), uint16(13), uint16(600), uint16(0))
+	f.Add(int64(2), uint16(257), uint16(129), uint16(17), uint16(16), uint16(16), uint16(900), uint16(0)) // pow2 tiles, odd extents
+	f.Add(int64(3), uint16(64), uint16(64), uint16(8), uint16(64), uint16(64), uint16(200), uint16(0))    // single tile
+	f.Add(int64(4), uint16(500), uint16(3), uint16(50), uint16(1), uint16(1), uint16(800), uint16(0))     // 1x1 tiles, skewed grid
+	f.Add(int64(5), uint16(33), uint16(470), uint16(25), uint16(10), uint16(100), uint16(700), uint16(0)) // blocks clip at both edges
+	f.Add(int64(6), uint16(100), uint16(90), uint16(30), uint16(7), uint16(13), uint16(600), uint16(1))   // 1-byte budget: evict everything
+	f.Add(int64(7), uint16(257), uint16(129), uint16(17), uint16(16), uint16(16), uint16(900), uint16(4096))
+	f.Fuzz(func(t *testing.T, seed int64, extL16, extR16, ctr16, tl16, tr16, nnz16, budget16 uint16) {
 		extL := uint64(extL16%1000) + 1
 		extR := uint64(extR16%1000) + 1
 		ctr := uint64(ctr16%100) + 1
 		tileL := uint64(tl16%200) + 1
 		tileR := uint64(tr16%200) + 1
 		nnz := int(nnz16 % 2000)
+		// 0 keeps eviction out of the picture (unlimited); anything else is
+		// a byte budget small enough to churn test-sized shards.
+		budget := int64(-1)
+		if budget16 != 0 {
+			budget = int64(budget16)
+		}
 		rng := rand.New(rand.NewSource(seed))
 		l := randomMatrix(rng, extL, ctr, nnz)
 		r := randomMatrix(rng, extR, ctr, nnz)
@@ -174,6 +262,7 @@ func FuzzContractTiling(f *testing.F) {
 			out, _, err := Contract(l, r, Config{
 				Threads: 3, TileL: tileL, TileR: tileR,
 				Accum: model.AccumSparse, Rep: rep, Platform: tinyLLC,
+				CacheBudget: budget,
 			})
 			if err != nil {
 				t.Fatalf("rep=%v tile=%dx%d: %v", rep, tileL, tileR, err)

@@ -1,0 +1,350 @@
+// Shard-cache lifecycle: byte-budgeted LRU eviction over every Operand's
+// shard map, with per-shard pinning so in-flight contractions block
+// reclamation.
+//
+// The ownership protocol, in one place:
+//
+//   - A Shard's lifetime state is a single atomic word: bit 0 retired,
+//     bit 1 doomed, bits 2+ the pin refcount. Pinning fails only on a
+//     retired shard; retiring succeeds only at refcount zero. Every
+//     transition is a CAS, so pin vs evict races resolve atomically with
+//     no shard-level lock.
+//   - Operand.Shard returns the shard pinned (+1); the engine holds that
+//     pin across the run and additionally pins per worker through the
+//     scheduler Guard, releasing at each worker's exit. Eviction can
+//     therefore never reclaim tables a contractTilePair reader is inside.
+//   - Every built shard is charged to one process-wide LRU (shardLRU).
+//     When the resident footprint exceeds the budget, the coldest
+//     unpinned shards are retired, unmapped from their owning Operand,
+//     and their sealed arenas recycled through mempool.
+//   - Operand.Close / the prepared API's Drop mark every cached shard
+//     doomed: unpinned shards are reclaimed immediately, pinned ones at
+//     their last Unpin. The Operand itself stays usable — the next Shard
+//     call simply rebuilds.
+//
+// Lock ordering: shardLRU.mu and Operand.mu are never held together.
+// Retirement happens under shardLRU.mu (or lock-free via doom/Unpin);
+// unmapping and recycling always run after shardLRU.mu is released.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fastcc/internal/metrics"
+	"fastcc/internal/model"
+)
+
+// Shard lifetime state word layout (Shard.state).
+const (
+	shardRetired = uint64(1) << 0 // storage reclaimed or queued for it; pins must fail
+	shardDoomed  = uint64(1) << 1 // Close/Drop called; retire at refcount zero
+	shardPinInc  = uint64(1) << 2 // one pin reference
+)
+
+// DefaultBudgetLLCMultiple sizes the default shard-cache budget as a
+// multiple of the platform's last-level cache: big enough that steady-state
+// reuse workloads never thrash (shards are LLC-sized by construction), small
+// enough to bound a long-lived process that touches many operands.
+const DefaultBudgetLLCMultiple = 64
+
+// tryPin takes one pin reference, failing only when the shard is already
+// retired (its tables are gone or going). Safe from any goroutine.
+//
+//fastcc:hotpath
+func (s *Shard) tryPin() bool {
+	for {
+		st := s.state.Load()
+		if st&shardRetired != 0 {
+			return false
+		}
+		if s.state.CompareAndSwap(st, st+shardPinInc) {
+			return true
+		}
+	}
+}
+
+// mustPin is tryPin for callers that already hold another pin on s (the
+// scheduler guard, pinning per-worker under the engine's run-level pin):
+// retirement is impossible while any pin is held, so failure is a lifecycle
+// protocol violation, not a recoverable miss.
+func (s *Shard) mustPin() {
+	if !s.tryPin() {
+		panic("core: mustPin on a retired shard: a pin was released while the engine still held the shard")
+	}
+}
+
+// Unpin releases one pin reference. When the last pin leaves a doomed shard,
+// the releaser reclaims it — Close/Drop returned long ago; this is the
+// deferred half of that drop.
+func (s *Shard) Unpin() {
+	st := s.state.Add(^(shardPinInc) + 1) // state -= shardPinInc
+	if st>>2 > uint64(1)<<40 {
+		panic("core: Shard.Unpin without a matching pin")
+	}
+	if st&shardDoomed != 0 && st&shardRetired == 0 && st>>2 == 0 {
+		if s.tryRetire() {
+			shardLRU.finishRetire(s, &shardLRU.counters.Drops)
+		}
+	}
+}
+
+// tryRetire moves the shard to the retired state, succeeding only at
+// refcount zero. Exactly one caller wins; the winner owns reclamation.
+func (s *Shard) tryRetire() bool {
+	for {
+		st := s.state.Load()
+		if st&shardRetired != 0 || st>>2 != 0 {
+			return false
+		}
+		if s.state.CompareAndSwap(st, st|shardRetired) {
+			return true
+		}
+	}
+}
+
+// doom marks the shard for reclamation at its next idle moment: immediately
+// when unpinned, at the last Unpin otherwise.
+func (s *Shard) doom() {
+	for {
+		st := s.state.Load()
+		if st&(shardDoomed|shardRetired) != 0 {
+			break
+		}
+		if s.state.CompareAndSwap(st, st|shardDoomed) {
+			break
+		}
+	}
+	if s.tryRetire() {
+		shardLRU.finishRetire(s, &shardLRU.counters.Drops)
+	}
+}
+
+// pinned reports whether any pin is currently held (a racy gauge, used only
+// for stats).
+func (s *Shard) pinnedNow() bool { return s.state.Load()>>2 != 0 }
+
+// shardCache is the process-wide byte-budgeted LRU over every built shard.
+// Shards are linked intrusively (lruPrev/lruNext on Shard), head most
+// recently used. One instance exists (shardLRU); operands register every
+// completed build and the budget is (re)applied at each engine run from its
+// Config.
+type shardCache struct {
+	mu     sync.Mutex
+	budget int64 // bytes; <= 0 means unlimited
+	bytes  int64 // resident footprint of listed shards
+	head   *Shard
+	tail   *Shard
+	n      int64
+
+	counters metrics.CacheCounters
+}
+
+// shardLRU is the engine's single shard cache.
+var shardLRU shardCache
+
+// resolveBudget maps the Config.CacheBudget convention onto cache semantics:
+// > 0 is an explicit byte budget, < 0 disables eviction, 0 derives a default
+// from the platform's LLC size.
+func resolveBudget(b int64, p model.Platform) int64 {
+	switch {
+	case b > 0:
+		return b
+	case b < 0:
+		return 0
+	default:
+		return p.L3Bytes * DefaultBudgetLLCMultiple
+	}
+}
+
+// SetShardBudget sets the process-wide shard-cache byte budget directly and
+// enforces it immediately; bytes <= 0 disables eviction. Engine runs re-apply
+// their own Config-derived budget, so direct calls matter mostly for tests
+// and for trimming between runs.
+func SetShardBudget(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	shardLRU.setBudget(bytes)
+}
+
+// CacheStats returns the lifecycle counters plus resident-state gauges of
+// the process-wide shard cache.
+func CacheStats() metrics.CacheSnapshot {
+	return shardLRU.stats()
+}
+
+// OutputChunksOutstanding reports how many output chunk buffers are checked
+// out of the engine's chunk cache — the leak-accounting gauge tests assert
+// returns to its baseline once results are recycled.
+func OutputChunksOutstanding() int64 { return outputChunks.Outstanding() }
+
+func (c *shardCache) setBudget(b int64) {
+	c.mu.Lock()
+	c.budget = b
+	victims := c.enforceLocked()
+	c.mu.Unlock()
+	c.reap(victims)
+}
+
+// insert charges a freshly built shard to the cache and applies the budget.
+// The shard arrives pinned by its builder, so it can never be its own
+// victim.
+func (c *shardCache) insert(s *Shard) {
+	c.mu.Lock()
+	c.pushFrontLocked(s)
+	c.bytes += s.bytes
+	c.n++
+	victims := c.enforceLocked()
+	c.mu.Unlock()
+	c.reap(victims)
+}
+
+// touch marks s most recently used. A shard already reclaimed (not in the
+// list) is left alone.
+func (c *shardCache) touch(s *Shard) {
+	c.mu.Lock()
+	if s.inLRU {
+		c.unlinkLocked(s)
+		c.pushFrontLocked(s)
+	}
+	c.mu.Unlock()
+}
+
+// finishRetire uncharges an already-retired shard and reclaims its storage;
+// the caller must have won tryRetire. cause is the counter this reclamation
+// charges (Drops for Close/Drop, Evictions via enforce's own path).
+func (c *shardCache) finishRetire(s *Shard, cause *atomic.Int64) {
+	c.mu.Lock()
+	c.removeLocked(s)
+	c.mu.Unlock()
+	cause.Add(1)
+	s.owner.unmap(s)
+	s.recycle()
+}
+
+// enforceLocked retires cold unpinned shards until the resident footprint
+// fits the budget, unlinking them from the list; the caller recycles the
+// returned victims after releasing the lock. Pinned shards are skipped —
+// a fully pinned cache may legitimately sit over budget.
+func (c *shardCache) enforceLocked() []*Shard {
+	if c.budget <= 0 || c.bytes <= c.budget {
+		return nil
+	}
+	var victims []*Shard
+	for s := c.tail; s != nil && c.bytes > c.budget; {
+		prev := s.lruPrev
+		if s.tryRetire() {
+			c.removeLocked(s)
+			victims = append(victims, s)
+		}
+		s = prev
+	}
+	return victims
+}
+
+// reap unmaps and recycles eviction victims outside the cache lock.
+func (c *shardCache) reap(victims []*Shard) {
+	for _, s := range victims {
+		c.counters.Evictions.Add(1)
+		c.counters.EvictedBytes.Add(s.bytes)
+		s.owner.unmap(s)
+		s.recycle()
+	}
+}
+
+func (c *shardCache) stats() metrics.CacheSnapshot {
+	snap := c.counters.Snapshot()
+	c.mu.Lock()
+	snap.CachedBytes = c.bytes
+	snap.Shards = c.n
+	for s := c.head; s != nil; s = s.lruNext {
+		if s.pinnedNow() {
+			snap.PinnedBytes += s.bytes
+		}
+	}
+	c.mu.Unlock()
+	return snap
+}
+
+// The LRU link fields are the one deliberately mutable region of a Shard:
+// they are lifecycle state owned by this cache and touched only under
+// c.mu, never by the immutable-table readers the sealedmut analyzer
+// protects.
+func (c *shardCache) pushFrontLocked(s *Shard) {
+	s.lruPrev = nil    //fastcc:allow sealedmut -- LRU link, guarded by shardLRU.mu
+	s.lruNext = c.head //fastcc:allow sealedmut -- LRU link, guarded by shardLRU.mu
+	if c.head != nil {
+		c.head.lruPrev = s //fastcc:allow sealedmut -- LRU link, guarded by shardLRU.mu
+	}
+	c.head = s
+	if c.tail == nil {
+		c.tail = s
+	}
+	s.inLRU = true //fastcc:allow sealedmut -- LRU link, guarded by shardLRU.mu
+}
+
+func (c *shardCache) unlinkLocked(s *Shard) {
+	if s.lruPrev != nil {
+		s.lruPrev.lruNext = s.lruNext //fastcc:allow sealedmut -- LRU link, guarded by shardLRU.mu
+	} else {
+		c.head = s.lruNext
+	}
+	if s.lruNext != nil {
+		s.lruNext.lruPrev = s.lruPrev //fastcc:allow sealedmut -- LRU link, guarded by shardLRU.mu
+	} else {
+		c.tail = s.lruPrev
+	}
+	s.lruPrev, s.lruNext = nil, nil //fastcc:allow sealedmut -- LRU link, guarded by shardLRU.mu
+	s.inLRU = false                 //fastcc:allow sealedmut -- LRU link, guarded by shardLRU.mu
+}
+
+// removeLocked uncharges s if it is still listed; safe to call twice (the
+// doom path and the eviction path can both reach a shard's retirement).
+func (c *shardCache) removeLocked(s *Shard) {
+	if !s.inLRU {
+		return
+	}
+	c.unlinkLocked(s)
+	c.bytes -= s.bytes
+	c.n--
+}
+
+// unmap removes s from its operand's shard map if (and only if) the map
+// still holds this exact shard — a rebuild may already have replaced the
+// key, and that replacement must not be disturbed.
+func (o *Operand) unmap(s *Shard) {
+	o.mu.Lock()
+	if cur, ok := o.shards[s.Key]; ok && cur == s {
+		delete(o.shards, s.Key)
+	}
+	o.mu.Unlock()
+}
+
+// Close dooms every cached shard: unpinned ones are reclaimed before Close
+// returns, pinned ones at their last Unpin. The Operand remains usable —
+// a later Shard call rebuilds — so Close is "drop the cache", not "destroy
+// the operand". Callers that wrap transient matrices (the one-shot Contract
+// paths) use it to keep dead operands from pinning the global LRU.
+func (o *Operand) Close() {
+	o.mu.Lock()
+	doomed := make([]*Shard, 0, len(o.shards))
+	for k, s := range o.shards {
+		doomed = append(doomed, s)
+		delete(o.shards, k)
+	}
+	o.mu.Unlock()
+	for _, s := range doomed {
+		s.doom()
+	}
+}
+
+// Warm builds (or confirms) the shard for key without keeping a pin,
+// reporting whether this call performed the build. It is Shard+Unpin: the
+// eager-build entry point for the prepared API, where the caller wants the
+// Build phase done now but holds no claim against eviction.
+func (o *Operand) Warm(key ShardKey, threads int) bool {
+	s, built := o.Shard(key, threads)
+	s.Unpin()
+	return built
+}

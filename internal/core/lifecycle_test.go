@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastcc/internal/mempool"
+	"fastcc/internal/testutil"
+)
+
+// The tests in this file pin the shard-cache lifecycle protocol: Shard
+// returns pinned, pins block eviction, Close/Drop dooms, and reclaimed
+// storage flows back through the pools. The cache is process-global, so
+// every assertion here is a delta against a captured baseline, never an
+// absolute — other tests in the binary legitimately leave residents behind.
+
+// lifecycleOperand builds a fresh operand big enough to have several
+// non-empty tiles under the given key.
+func lifecycleOperand(seed int64) *Operand {
+	rng := rand.New(rand.NewSource(seed))
+	return NewOperand(randomMatrix(rng, 200, 30, 1500))
+}
+
+func TestShardReturnsPinnedAndCountsHits(t *testing.T) {
+	op := lifecycleOperand(11)
+	defer op.Close()
+	key := ShardKey{Tile: 32, Rep: RepHash}
+
+	before := CacheStats()
+	s, built := op.Shard(key, 2)
+	if !built {
+		t.Fatal("first Shard call did not build")
+	}
+	if !s.pinnedNow() {
+		t.Fatal("Shard returned an unpinned shard")
+	}
+	s2, built2 := op.Shard(key, 2)
+	if built2 || s2 != s {
+		t.Fatalf("second Shard call built=%v same=%v, want hit on the same shard", built2, s2 == s)
+	}
+	s2.Unpin()
+	s.Unpin()
+	after := CacheStats()
+	if after.Misses-before.Misses != 1 || after.Hits-before.Hits != 1 {
+		t.Fatalf("counter deltas hits=%d misses=%d, want 1 and 1",
+			after.Hits-before.Hits, after.Misses-before.Misses)
+	}
+}
+
+func TestEvictionSkipsPinnedShards(t *testing.T) {
+	op := lifecycleOperand(13)
+	defer op.Close()
+	key := ShardKey{Tile: 32, Rep: RepHash}
+	s, _ := op.Shard(key, 2)
+
+	// A 1-byte budget demands eviction of everything — but the pin must hold.
+	SetShardBudget(1)
+	if !op.Cached(key) {
+		t.Fatal("pinned shard was evicted")
+	}
+	if st := CacheStats(); st.PinnedBytes <= 0 {
+		t.Fatalf("PinnedBytes=%d with a pinned resident shard", st.PinnedBytes)
+	}
+	// Reads through the shard must still be live.
+	for _, i := range s.NonEmpty() {
+		if s.sealedAt(i) == nil {
+			t.Fatalf("tile %d vanished under a pinned shard", i)
+		}
+	}
+
+	before := CacheStats()
+	s.Unpin()
+	SetShardBudget(1) // re-enforce now that the pin is gone
+	if op.Cached(key) {
+		t.Fatal("unpinned shard survived a 1-byte budget")
+	}
+	after := CacheStats()
+	if after.Evictions <= before.Evictions {
+		t.Fatalf("Evictions did not grow (%d -> %d)", before.Evictions, after.Evictions)
+	}
+	if after.EvictedBytes <= before.EvictedBytes {
+		t.Fatalf("EvictedBytes did not grow (%d -> %d)", before.EvictedBytes, after.EvictedBytes)
+	}
+	SetShardBudget(-1) // back to unlimited for the rest of the binary
+}
+
+func TestCloseDropsAndRebuilds(t *testing.T) {
+	op := lifecycleOperand(17)
+	key := ShardKey{Tile: 16, Rep: RepSorted}
+	op.Warm(key, 2)
+	if !op.Cached(key) {
+		t.Fatal("Warm did not cache the shard")
+	}
+
+	before := CacheStats()
+	op.Close()
+	if op.Cached(key) {
+		t.Fatal("shard still cached after Close")
+	}
+	after := CacheStats()
+	if after.Drops-before.Drops != 1 {
+		t.Fatalf("Drops delta = %d, want 1", after.Drops-before.Drops)
+	}
+
+	// The operand stays usable: the next Shard call rebuilds.
+	s, built := op.Shard(key, 2)
+	if !built {
+		t.Fatal("Shard after Close did not rebuild")
+	}
+	s.Unpin()
+	op.Close()
+}
+
+func TestCloseWhilePinnedDefersReclaim(t *testing.T) {
+	op := lifecycleOperand(19)
+	key := ShardKey{Tile: 32, Rep: RepHash}
+	s, _ := op.Shard(key, 2)
+
+	op.Close() // dooms; s is pinned, so its tables must survive
+	for _, i := range s.NonEmpty() {
+		if s.sealedAt(i) == nil {
+			t.Fatalf("tile %d reclaimed under a pinned doomed shard", i)
+		}
+	}
+	if op.Cached(key) {
+		t.Fatal("doomed shard still visible through the operand")
+	}
+
+	before := CacheStats()
+	s.Unpin() // last pin out: the deferred drop runs here
+	after := CacheStats()
+	if after.Drops-before.Drops != 1 {
+		t.Fatalf("Drops delta = %d after last Unpin of a doomed shard, want 1", after.Drops-before.Drops)
+	}
+	if s.tryPin() {
+		t.Fatal("pin succeeded on a reclaimed shard")
+	}
+}
+
+func TestWarmHoldsNoPin(t *testing.T) {
+	op := lifecycleOperand(23)
+	defer op.Close()
+	key := ShardKey{Tile: 32, Rep: RepHash}
+	if built := op.Warm(key, 2); !built {
+		t.Fatal("first Warm did not build")
+	}
+	if built := op.Warm(key, 2); built {
+		t.Fatal("second Warm rebuilt a cached shard")
+	}
+	// Warm left no pin behind, so a squeeze must reclaim the shard.
+	SetShardBudget(1)
+	if op.Cached(key) {
+		t.Fatal("warmed shard survived a 1-byte budget: Warm leaked a pin")
+	}
+	SetShardBudget(-1)
+}
+
+func TestCacheChargeReturnsToBaseline(t *testing.T) {
+	cachedBytes := testutil.Gauge{Name: "shard-cache bytes", Read: func() int64 { return CacheStats().CachedBytes }}
+	residentShards := testutil.Gauge{Name: "shard-cache shards", Read: func() int64 { return CacheStats().Shards }}
+	base := testutil.Capture(cachedBytes, residentShards)
+
+	for _, rep := range []InputRep{RepHash, RepSorted} {
+		op := lifecycleOperand(29)
+		s, _ := op.Shard(ShardKey{Tile: 16, Rep: rep}, 2)
+		s.Unpin()
+		op.Close()
+	}
+	base.Assert(t)
+}
+
+// TestUnpinnedReadAfterReclaimPanicsWhenChecked injects the exact bug the
+// pin protocol exists to prevent: a reader keeps a sealed-table reference,
+// releases its pin, the shard is dropped, and the reader touches the table
+// anyway. Under fastcc_checked the table's generation stamp (invalidated by
+// Sealed.Recycle) turns that into a deterministic panic. The normal build's
+// behavior after reclaim is undefined (the arrays are recycled), so the test
+// only runs checked.
+func TestUnpinnedReadAfterReclaimPanicsWhenChecked(t *testing.T) {
+	if !mempool.Checked {
+		t.Skip("generation stamps require -tags fastcc_checked")
+	}
+	op := lifecycleOperand(31)
+	key := ShardKey{Tile: 32, Rep: RepHash}
+	s, _ := op.Shard(key, 2)
+	tbl := s.sealedAt(s.NonEmpty()[0])
+	s.Unpin()
+	op.Close() // reclaims: tbl's arenas are recycled, its stamp invalidated
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read through a recycled sealed table did not panic under fastcc_checked")
+		}
+	}()
+	tbl.KeyAt(0)
+}
+
+// TestShardAccessAfterReclaimPanicsWhenChecked is the shard-level twin: the
+// tile accessors themselves must trip on the retired generation stamp.
+func TestShardAccessAfterReclaimPanicsWhenChecked(t *testing.T) {
+	if !mempool.Checked {
+		t.Skip("generation stamps require -tags fastcc_checked")
+	}
+	op := lifecycleOperand(37)
+	s, _ := op.Shard(ShardKey{Tile: 32, Rep: RepHash}, 2)
+	i := s.NonEmpty()[0]
+	s.Unpin()
+	op.Close()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sealedAt on a reclaimed shard did not panic under fastcc_checked")
+		}
+	}()
+	_ = s.sealedAt(i)
+}

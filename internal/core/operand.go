@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"fastcc/internal/coo"
 	"fastcc/internal/hashtable"
@@ -43,8 +44,11 @@ type ShardKey struct {
 	Rep  InputRep
 }
 
-// Shard is one operand's built tile tables for a given ShardKey. Immutable
-// after construction, so concurrent contractions read it without locks.
+// Shard is one operand's built tile tables for a given ShardKey. The tables
+// are immutable after construction, so concurrent contractions read them
+// without locks; what is mutable is the shard's lifetime state — see
+// lifecycle.go for the pin/doom/retire protocol and the LRU the shard is
+// charged to.
 type Shard struct {
 	Key ShardKey
 
@@ -55,6 +59,16 @@ type Shard struct {
 	keys     int                 // total distinct contraction keys across tiles
 
 	built chan struct{} // closed when the build completes
+
+	// Lifecycle state (lifecycle.go): the owning operand (for unmapping at
+	// eviction), the footprint charged to the byte budget, the atomic
+	// pin/doom/retire word, and the intrusive LRU links guarded by
+	// shardLRU.mu.
+	owner            *Operand
+	bytes            int64
+	state            atomic.Uint64
+	lruPrev, lruNext *Shard
+	inLRU            bool
 
 	ck checkedShard // generation stamp; zero-sized unless built with fastcc_checked
 }
@@ -111,33 +125,49 @@ func (s *Shard) TileBytes() int64 {
 	return b
 }
 
-// Shard returns the built shard for key, building it with `threads` workers
-// on a miss. The second result reports whether this call performed the
-// build; a hit — including waiting out another goroutine's in-flight build —
-// returns false, which is what Stats reports as shard reuse.
+// Shard returns the built shard for key PINNED — the caller owes exactly one
+// Unpin, and until it pays, the byte-budgeted eviction policy cannot reclaim
+// the shard's tables. A miss builds with `threads` workers; the second result
+// reports whether this call performed the build (a hit — including waiting
+// out another goroutine's in-flight build — returns false, which is what
+// Stats reports as shard reuse).
+//
+// A mapped shard that eviction has retired but not yet unmapped is detected
+// by the pin failing; the stale entry is replaced and rebuilt here, which is
+// why the loop exists.
 func (o *Operand) Shard(key ShardKey, threads int) (*Shard, bool) {
-	o.mu.Lock()
-	s, ok := o.shards[key]
-	if ok {
+	for {
+		o.mu.Lock()
+		if s, ok := o.shards[key]; ok {
+			if s.tryPin() {
+				o.mu.Unlock()
+				<-s.built
+				shardLRU.counters.Hits.Add(1)
+				shardLRU.touch(s)
+				return s, false
+			}
+			delete(o.shards, key) // retired under us: drop the stale entry and rebuild
+		}
+		s := &Shard{Key: key, owner: o, built: make(chan struct{})}
+		s.state.Store(shardPinInc) // born pinned: the builder's reference is the caller's
+		o.shards[key] = s
 		o.mu.Unlock()
-		<-s.built
-		return s, false
+		shardLRU.counters.Misses.Add(1)
+		s.build(o.Mat, threads)
+		close(s.built)
+		shardLRU.insert(s)
+		return s, true
 	}
-	s = &Shard{Key: key, built: make(chan struct{})}
-	o.shards[key] = s
-	o.mu.Unlock()
-	s.build(o.Mat, threads)
-	close(s.built)
-	return s, true
 }
 
-// Cached reports whether a completed shard for key is available without
-// blocking (an in-flight build counts as not yet cached).
+// Cached reports whether a completed, still-live shard for key is available
+// without blocking (an in-flight build and a retired-but-unmapped entry both
+// count as not cached).
 func (o *Operand) Cached(key ShardKey) bool {
 	o.mu.Lock()
 	s, ok := o.shards[key]
 	o.mu.Unlock()
-	if !ok {
+	if !ok || s.state.Load()&shardRetired != 0 {
 		return false
 	}
 	select {
@@ -181,5 +211,55 @@ func (s *Shard) build(m *coo.Matrix, threads int) {
 		}
 	}
 	part.Release()
+	s.bytes = s.footprint() // one stable number for LRU charge and discharge
 	s.stampBuilt()
+}
+
+// footprint computes the byte figure the eviction budget charges for this
+// shard: the tile tables themselves plus the per-tile pointer and index
+// arrays. Computed once at build completion and cached in s.bytes (the LRU
+// accounting must see one stable number for charge and discharge).
+func (s *Shard) footprint() int64 {
+	b := int64(len(s.nonEmpty)) * 8
+	if s.Key.Rep == RepSorted {
+		b += int64(len(s.sorted)) * 8
+		for _, st := range s.sorted {
+			if st != nil {
+				b += st.memBytes()
+			}
+		}
+		return b
+	}
+	b += int64(len(s.sealed)) * 8
+	for _, t := range s.sealed {
+		if t != nil {
+			b += t.MemBytes()
+		}
+	}
+	return b
+}
+
+// recycle reclaims a retired shard's storage: every sealed table's arenas
+// flow back through the hashtable pools (hashtable.Sealed.Recycle), every
+// sorted tile's arrays through the sorted pools. Only the single winner of
+// tryRetire may call this, after the shard is uncharged and unmapped. Under
+// fastcc_checked the shard's generation stamp flips to retired first, so a
+// reader that skipped pinning panics at its next tile access.
+//
+//fastcc:sealer -- lifecycle transition, the inverse of build
+func (s *Shard) recycle() {
+	s.stampRetired()
+	for i, t := range s.sealed {
+		if t != nil {
+			t.Recycle()
+			s.sealed[i] = nil
+		}
+	}
+	for i, st := range s.sorted {
+		if st != nil {
+			st.recycle()
+			s.sorted[i] = nil
+		}
+	}
+	s.sealed, s.sorted = nil, nil
 }

@@ -40,6 +40,32 @@ type sortedTile struct {
 	pairs []hashtable.Pair
 }
 
+// Sorted-tile recycling: the RepSorted twin of the hashtable sealed-arena
+// pools. Eviction retires whole sorted shards; their arrays flow back here
+// and are drawn again by the next buildSortedTiles. Under fastcc_checked the
+// pools poison parked storage.
+var (
+	sortedKeyPool  mempool.SlicePool[uint64]
+	sortedOffPool  mempool.SlicePool[int32]
+	sortedPairPool mempool.SlicePool[hashtable.Pair]
+)
+
+// memBytes reports the tile's in-memory footprint for eviction accounting.
+func (st *sortedTile) memBytes() int64 {
+	return int64(cap(st.keys))*8 + int64(cap(st.offs))*4 + int64(cap(st.pairs))*16
+}
+
+// recycle returns the tile's arrays to the sorted pools. Callers must hold
+// the retired shard's reclamation ownership (see Shard.recycle).
+//
+//fastcc:sealer -- lifecycle transition, the inverse of buildSortedTiles
+func (st *sortedTile) recycle() {
+	sortedKeyPool.Put(st.keys)
+	sortedOffPool.Put(st.offs)
+	sortedPairPool.Put(st.pairs)
+	st.keys, st.offs, st.pairs = nil, nil, nil
+}
+
 // buildSortedTiles is the RepSorted analogue of buildSealedTiles: worker w
 // radix-sorts the partition segments of its owned non-empty tiles by
 // contraction index (in place — the partition arenas are consumed by the
@@ -59,7 +85,13 @@ func buildSortedTiles(tables []*sortedTile, part *coo.TilePartition, w, teamSize
 		}
 		// Per-tile sorts run inside an already-parallel team: one worker.
 		radix.SortWithPerm(cs, perm, 1)
-		st := &sortedTile{pairs: make([]hashtable.Pair, n)}
+		// Pool-drawn with upper-bound capacity (distinct keys <= n), so the
+		// append loops below never reallocate away the recycled storage.
+		st := &sortedTile{
+			keys:  sortedKeyPool.Get(n),      //fastcc:owned -- recycled by sortedTile.recycle
+			offs:  sortedOffPool.Get(n + 1),  //fastcc:owned -- recycled by sortedTile.recycle
+			pairs: sortedPairPool.Get(n)[:n], //fastcc:owned -- recycled by sortedTile.recycle
+		}
 		for p, orig := range perm {
 			st.pairs[p] = hashtable.Pair{Idx: part.Intra[lo+int(orig)], Val: part.Val[lo+int(orig)]}
 		}

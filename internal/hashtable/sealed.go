@@ -1,10 +1,34 @@
 package hashtable
 
+import "fastcc/internal/mempool"
+
 // Span bounds one key's pair run inside a Sealed table's arena.
 type Span struct {
 	Off int32
 	Len int32
 }
+
+// Sealed-arena recycling: the shard-cache eviction policy retires whole
+// sealed tables, whose storage flows back through these pools and is drawn
+// again by the next Seal (and by NewSliceTable for the slot arrays Seal
+// steals). Under fastcc_checked the pools poison parked storage, so an
+// unpinned reader touching a recycled table's arrays trips the sentinel or
+// the generation stamp instead of reading another shard's data.
+var (
+	arenaU64  mempool.SlicePool[uint64]
+	arenaI32  mempool.SlicePool[int32]
+	arenaSpan mempool.SlicePool[Span]
+	arenaPair mempool.SlicePool[Pair]
+)
+
+// Per-element footprints of the sealed arrays (Pair pads to 16 bytes).
+const (
+	bytesPerSlotKey = 8
+	bytesPerSlotIdx = 4
+	bytesPerKey     = 8
+	bytesPerSpan    = 8
+	bytesPerPair    = 16
+)
 
 // Sealed is the read-only SoA form of a SliceTable: one contiguous []Pair
 // arena with per-key {off, len} spans in place of the mutable table's
@@ -38,13 +62,14 @@ type Sealed struct {
 //
 //fastcc:sealer -- the one function allowed to populate a Sealed
 func (t *SliceTable) Seal() *Sealed {
+	n := len(t.lists)
 	s := &Sealed{
 		mask:     t.mask,
 		slotKeys: t.keys,
 		slotIdx:  t.listIdx,
-		keys:     make([]uint64, len(t.lists)),
-		spans:    make([]Span, len(t.lists)),
-		pairs:    make([]Pair, 0, t.pairs),
+		keys:     arenaU64.Get(n)[:n],    //fastcc:owned -- recycled by Sealed.Recycle
+		spans:    arenaSpan.Get(n)[:n],   //fastcc:owned -- recycled by Sealed.Recycle
+		pairs:    arenaPair.Get(t.pairs), //fastcc:owned -- recycled by Sealed.Recycle
 	}
 	// Dense index li was assigned in key-insertion order; recover each
 	// key's value from its slot so cursor iteration follows that order.
@@ -97,6 +122,9 @@ func (s *Sealed) KeyAt(i int) uint64 {
 //
 //fastcc:hotpath
 func (s *Sealed) PairsAt(i int) []Pair {
+	// Liveness before the spans read: a recycled table must fail the
+	// generation check, not an index bound on its released arrays.
+	s.checkLive("PairsAt")
 	sp := s.spans[i]
 	s.checkSpan("PairsAt", sp)
 	return s.slicePairs(sp)
@@ -132,4 +160,34 @@ func (s *Sealed) ForEach(fn func(key uint64, pairs []Pair)) {
 	for i := range s.keys {
 		fn(s.keys[i], s.PairsAt(i))
 	}
+}
+
+// MemBytes reports the table's in-memory footprint: the slot arrays, the
+// dense key/span arrays, and the pair arena. This is the byte figure the
+// shard-cache eviction budget charges per tile.
+func (s *Sealed) MemBytes() int64 {
+	return int64(len(s.slotKeys))*bytesPerSlotKey +
+		int64(len(s.slotIdx))*bytesPerSlotIdx +
+		int64(len(s.keys))*bytesPerKey +
+		int64(len(s.spans))*bytesPerSpan +
+		int64(cap(s.pairs))*bytesPerPair
+}
+
+// Recycle retires the table and returns its storage to the arena pools for
+// future Seal calls — the eviction half of the sealed-table lifecycle. The
+// table must have no readers: the shard cache only calls this after the
+// owning shard's pin count has dropped to zero and its retire bit is set.
+// Under fastcc_checked the generation stamp is invalidated first, so any
+// reader that skipped pinning panics deterministically at its next access
+// instead of observing another shard's recycled data.
+//
+//fastcc:sealer -- lifecycle transition, the inverse of Seal
+func (s *Sealed) Recycle() {
+	s.invalidate()
+	arenaU64.Put(s.slotKeys)
+	arenaI32.Put(s.slotIdx)
+	arenaU64.Put(s.keys)
+	arenaSpan.Put(s.spans)
+	arenaPair.Put(s.pairs)
+	s.slotKeys, s.slotIdx, s.keys, s.spans, s.pairs = nil, nil, nil, nil, nil
 }

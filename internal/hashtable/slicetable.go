@@ -28,7 +28,10 @@ type SliceTable struct {
 	pairs   int
 }
 
-// NewSliceTable returns a table sized for about keyHint distinct keys.
+// NewSliceTable returns a table sized for about keyHint distinct keys. The
+// slot arrays are drawn from the sealed-arena pools: Seal steals them into
+// the read-only form and Sealed.Recycle eventually returns them, closing
+// the build→seal→evict→rebuild loop without fresh allocations.
 func NewSliceTable(keyHint int) *SliceTable {
 	capacity := nextPow2(int(float64(keyHint)/sliceMaxLoad) + 1)
 	if capacity < 8 {
@@ -36,8 +39,8 @@ func NewSliceTable(keyHint int) *SliceTable {
 	}
 	t := &SliceTable{
 		mask:    uint64(capacity - 1),
-		keys:    make([]uint64, capacity),
-		listIdx: make([]int32, capacity),
+		keys:    arenaU64.Get(capacity)[:capacity], //fastcc:owned -- stolen by Seal, recycled by Sealed.Recycle
+		listIdx: arenaI32.Get(capacity)[:capacity], //fastcc:owned -- stolen by Seal, recycled by Sealed.Recycle
 	}
 	for i := range t.listIdx {
 		t.listIdx[i] = sliceEmptySlot
@@ -122,11 +125,14 @@ func (t *SliceTable) findSlot(key uint64) uint64 {
 }
 
 // grow doubles the slot array and rehashes keys; pair lists are untouched.
+// The outgrown slot arrays flow back to the arena pools immediately — they
+// have no other referent, so recycling them here (not at eviction) keeps the
+// steady-state pool stocked with right-sized storage.
 func (t *SliceTable) grow() {
 	oldKeys, oldIdx := t.keys, t.listIdx
 	capacity := len(oldKeys) * 2
-	t.keys = make([]uint64, capacity)
-	t.listIdx = make([]int32, capacity)
+	t.keys = arenaU64.Get(capacity)[:capacity]    //fastcc:owned -- stolen by Seal, recycled by Sealed.Recycle
+	t.listIdx = arenaI32.Get(capacity)[:capacity] //fastcc:owned -- stolen by Seal, recycled by Sealed.Recycle
 	t.mask = uint64(capacity - 1)
 	for i := range t.listIdx {
 		t.listIdx[i] = sliceEmptySlot
@@ -140,4 +146,6 @@ func (t *SliceTable) grow() {
 		t.keys[ns] = k
 		t.listIdx[ns] = li
 	}
+	arenaU64.Put(oldKeys)
+	arenaI32.Put(oldIdx)
 }

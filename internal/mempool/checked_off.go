@@ -12,9 +12,15 @@ const Checked = false
 // performs no poisoning or provenance tracking, keeping the recycle path
 // free of locks and sweeps.
 type (
-	checkedCache[T any] struct{}
-	checkedSlice[T any] struct{}
+	checkedCache[T any]                  struct{}
+	checkedSlice[T any]                  struct{}
+	checkedFreelist[K comparable, V any] struct{}
 )
+
+// note / checkPut implement Freelist provenance only under fastcc_checked;
+// the normal build parks values without validating which key they belong to.
+func (f *Freelist[K, V]) note(K, V)     {}
+func (f *Freelist[K, V]) checkPut(K, V) {}
 
 func (c *ChunkCache[T]) park(b []T) { c.pool.Put(b) }
 

@@ -88,6 +88,65 @@ type checkedSlice[T any] struct {
 	parked [][]T
 }
 
+// checkedFreelist tracks which freelist key each parked value belongs to,
+// so a wrong-shaped value re-parked under a different key is rejected at
+// Put instead of vended at a future Get (the ROADMAP's Freelist.Put
+// provenance gap). Values are keyed by their own identity; non-comparable
+// value types are skipped (they cannot be map keys).
+type checkedFreelist[K comparable, V any] struct {
+	mu   sync.Mutex
+	prov map[any]K
+}
+
+// freelistProvKey returns v as a map key when its dynamic type is
+// comparable, which is what identity-based provenance needs.
+func freelistProvKey(v any) (any, bool) {
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() || !rv.Comparable() {
+		return nil, false
+	}
+	return v, true
+}
+
+func (f *Freelist[K, V]) note(k K, v V) {
+	id, ok := freelistProvKey(v)
+	if !ok {
+		return
+	}
+	f.ck.mu.Lock()
+	defer f.ck.mu.Unlock()
+	if f.ck.prov == nil {
+		f.ck.prov = make(map[any]K)
+	}
+	if bound, seen := f.ck.prov[id]; seen && bound != k {
+		panic(fmt.Sprintf(
+			"mempool.Freelist.Note: value already bound to key %v re-registered under %v: a shaped value is being moved between freelist keys",
+			bound, k))
+	}
+	f.ck.prov[id] = k
+}
+
+func (f *Freelist[K, V]) checkPut(k K, v V) {
+	id, ok := freelistProvKey(v)
+	if !ok {
+		return
+	}
+	f.ck.mu.Lock()
+	defer f.ck.mu.Unlock()
+	if f.ck.prov == nil {
+		f.ck.prov = make(map[any]K)
+	}
+	if bound, seen := f.ck.prov[id]; seen {
+		if bound != k {
+			panic(fmt.Sprintf(
+				"mempool.Freelist.Put: value bound to key %v parked under %v: wrong-shaped value would be vended to a future Get(%v)",
+				bound, k, k))
+		}
+		return
+	}
+	f.ck.prov[id] = k // first Put binds the value to its key
+}
+
 func (s *SlicePool[T]) park(b []T) {
 	poison(b)
 	s.ck.mu.Lock()

@@ -107,6 +107,78 @@ func TestChunkCacheForeignSameCapacity(t *testing.T) {
 	}
 }
 
+// TestFreelistCrossKeyPutPanicsWhenChecked injects the ROADMAP's provenance
+// gap: a shaped value vended for one key is parked under another. The
+// checked build must reject it at the Put (the recycle point); the normal
+// build silently parks — a wrong-shaped value a future Get would vend.
+func TestFreelistCrossKeyPutPanicsWhenChecked(t *testing.T) {
+	f := NewFreelist[string, *int](4)
+	v := new(int)
+	f.Note("shape-a", v) // construction-time binding, as the engine does
+	mustPanicWhenChecked(t, "Freelist cross-key Put", func() {
+		f.Put("shape-b", v)
+	})
+}
+
+// TestFreelistFirstPutBindsKey: a value never Noted is bound by its first
+// Put; a later Put under a different key is the same cross-key violation.
+func TestFreelistFirstPutBindsKey(t *testing.T) {
+	f := NewFreelist[int, *int](4)
+	v := new(int)
+	f.Put(1, v) // first Put binds v to key 1
+	got, ok := f.Get(1)
+	if !ok || got != v {
+		t.Fatalf("Get(1) = (%p, %v), want the parked value back", got, ok)
+	}
+	mustPanicWhenChecked(t, "Freelist rebind via Put", func() {
+		f.Put(2, v)
+	})
+}
+
+// TestFreelistConflictingNotePanicsWhenChecked: re-registering a value under
+// a different key at Note time is caught at the Note, before the value ever
+// parks.
+func TestFreelistConflictingNotePanicsWhenChecked(t *testing.T) {
+	f := NewFreelist[int, *int](4)
+	v := new(int)
+	f.Note(1, v)
+	mustPanicWhenChecked(t, "Freelist conflicting Note", func() {
+		f.Note(2, v)
+	})
+}
+
+// TestFreelistCleanCycleNeverPanics pins the happy path in both modes:
+// Note + Put + Get under one key round-trips the value with no provenance
+// complaint, repeatedly.
+func TestFreelistCleanCycleNeverPanics(t *testing.T) {
+	f := NewFreelist[string, *int](4)
+	v := new(int)
+	f.Note("k", v)
+	for i := 0; i < 3; i++ {
+		f.Put("k", v)
+		got, ok := f.Get("k")
+		if !ok || got != v {
+			t.Fatalf("cycle %d: Get = (%p, %v), want the parked value", i, got, ok)
+		}
+	}
+}
+
+// TestFreelistNonComparableValuesSkipProvenance: values whose dynamic type
+// cannot be a map key (slices) are exempt from tracking — cross-key Put
+// must not panic in either build, because identity cannot be established.
+func TestFreelistNonComparableValuesSkipProvenance(t *testing.T) {
+	f := NewFreelist[int, []int](4)
+	v := []int{1, 2, 3}
+	f.Put(1, v)
+	f.Put(2, v) // untrackable: no identity, no provenance, no panic
+	if _, ok := f.Get(1); !ok {
+		t.Fatal("Get(1) found nothing after Put(1)")
+	}
+	if _, ok := f.Get(2); !ok {
+		t.Fatal("Get(2) found nothing after Put(2)")
+	}
+}
+
 // TestSlicePoolDropsZeroCapacity: parking nothing is counted, not recycled.
 func TestSlicePoolDropsZeroCapacity(t *testing.T) {
 	var s SlicePool[byte]

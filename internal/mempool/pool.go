@@ -155,7 +155,11 @@ type ChunkCache[T any] struct {
 	chunkLen int
 	pool     sync.Pool
 	dropped  atomic.Uint64
-	ck       checkedCache[T] // zero-sized unless built with fastcc_checked
+	// vendedN/returnedN count chunks handed to pools and chunks that came
+	// back through Release; their difference is the leak-accounting gauge
+	// Outstanding.
+	vendedN, returnedN atomic.Int64
+	ck                 checkedCache[T] // zero-sized unless built with fastcc_checked
 }
 
 // NewChunkCache returns a cache of chunks with the given length; <= 0
@@ -174,12 +178,24 @@ func (c *ChunkCache[T]) NewPool() *Pool[T] {
 }
 
 func (c *ChunkCache[T]) get() []T {
+	c.vendedN.Add(1)
 	if b, ok := c.unpark(); ok {
 		return b
 	}
 	b := make([]T, 0, c.chunkLen)
 	c.noteVended(b)
 	return b
+}
+
+// Outstanding reports how many vended chunks have not yet come back through
+// Release — the cache's leak-accounting gauge. A workload that recycles
+// every output list leaves the gauge where it found it; a positive drift
+// means some caller is retaining chunk storage. Foreign chunks smuggled
+// into Release are dropped without counting as returns, so in normal
+// (unchecked) builds a same-capacity foreign chunk can skew the gauge low;
+// the fastcc_checked build's provenance tracking keeps it exact.
+func (c *ChunkCache[T]) Outstanding() int64 {
+	return c.vendedN.Load() - c.returnedN.Load()
 }
 
 // Dropped reports how many chunks Release rejected instead of recycling:
@@ -204,6 +220,7 @@ func (c *ChunkCache[T]) Release(l *List[T]) {
 			c.dropped.Add(1)
 			continue
 		}
+		c.returnedN.Add(1)
 		c.park(ch[:0])
 	}
 	l.chunks = nil
@@ -218,6 +235,7 @@ type Freelist[K comparable, V any] struct {
 	mu     sync.Mutex
 	perKey int
 	items  map[K][]V
+	ck     checkedFreelist[K, V] // zero-sized unless built with fastcc_checked
 }
 
 // NewFreelist returns a free list keeping at most perKey parked values per
@@ -232,9 +250,9 @@ func NewFreelist[K comparable, V any](perKey int) *Freelist[K, V] {
 // Get pops a parked value for key, reporting whether one was available.
 func (f *Freelist[K, V]) Get(k K) (V, bool) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	vs := f.items[k]
 	if len(vs) == 0 {
+		f.mu.Unlock()
 		var zero V
 		return zero, false
 	}
@@ -242,11 +260,25 @@ func (f *Freelist[K, V]) Get(k K) (V, bool) {
 	var zero V
 	vs[len(vs)-1] = zero // do not pin the parked value through the backing array
 	f.items[k] = vs[:len(vs)-1]
+	f.mu.Unlock()
+	f.note(k, v) // checked builds re-affirm the vended value's key binding
 	return v, true
 }
 
-// Put parks v for future Get(k) calls; full lists drop v for the GC.
+// Note registers v as belonging to key k for the checked build's provenance
+// validation; a later Put of v under any other key panics at the Put instead
+// of vending a wrong-shaped value at a future Get. Callers that construct a
+// value for a specific key (the engine's per-shape accumulators) should Note
+// it at construction time. A no-op without -tags fastcc_checked.
+func (f *Freelist[K, V]) Note(k K, v V) { f.note(k, v) }
+
+// Put parks v for future Get(k) calls; full lists drop v for the GC. Under
+// fastcc_checked, a value whose recorded provenance names a different key
+// panics here — the wrong-shaped-accumulator-under-the-right-key bug is
+// rejected at the recycle point, not discovered at reuse. A value never seen
+// before is bound to k by this Put.
 func (f *Freelist[K, V]) Put(k K, v V) {
+	f.checkPut(k, v)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if len(f.items[k]) >= f.perKey {
@@ -260,21 +292,34 @@ func (f *Freelist[K, V]) Put(k K, v V) {
 type SlicePool[T any] struct {
 	pool    sync.Pool
 	dropped atomic.Uint64
-	ck      checkedSlice[T] // zero-sized unless built with fastcc_checked
+	// vended/returned count Get and Put calls; their difference is the
+	// leak-accounting gauge Outstanding.
+	vended, returned atomic.Int64
+	ck               checkedSlice[T] // zero-sized unless built with fastcc_checked
 }
 
 // Get returns an empty slice with capacity at least capHint, recycled when
 // a large-enough one is parked.
 func (s *SlicePool[T]) Get(capHint int) []T {
+	s.vended.Add(1)
 	if b, ok := s.unpark(); ok && cap(b) >= capHint {
 		return b
 	}
 	return make([]T, 0, capHint)
 }
 
+// Outstanding reports how many Get results have not come back through Put —
+// the pool's leak-accounting gauge. A balanced workload leaves it where it
+// found it.
+func (s *SlicePool[T]) Outstanding() int64 {
+	return s.vended.Load() - s.returned.Load()
+}
+
 // Put parks b for reuse; the caller must not retain it. Zero-capacity
-// slices carry no storage worth parking and are dropped with a count.
+// slices carry no storage worth parking and are dropped with a count
+// (still a return for leak accounting: the caller handed back what it held).
 func (s *SlicePool[T]) Put(b []T) {
+	s.returned.Add(1)
 	if cap(b) == 0 {
 		s.dropped.Add(1)
 		return

@@ -69,6 +69,57 @@ func (c *Counters) AddOutput(n int64) {
 	}
 }
 
+// CacheCounters aggregates shard-cache lifecycle statistics: how often the
+// engine's Build phase was served from an Operand's shard cache, and what
+// the byte-budgeted eviction policy reclaimed. One process-wide instance
+// lives in the core engine; the gauges a snapshot adds on top (resident and
+// pinned bytes) are derived from the cache's LRU state at snapshot time.
+type CacheCounters struct {
+	// Hits counts shard fetches served from the cache (including waiting
+	// out another goroutine's in-flight build); Misses counts builds.
+	Hits, Misses atomic.Int64
+	// Evictions counts shards retired by the byte budget; EvictedBytes is
+	// their cumulative footprint. Drops (Operand.Close / Sharded.Drop)
+	// count separately.
+	Evictions, EvictedBytes atomic.Int64
+	// Drops counts shards retired by an explicit Close/Drop call.
+	Drops atomic.Int64
+}
+
+// Snapshot returns a plain-value copy of the lifecycle counters. The
+// CachedBytes/PinnedBytes/Shards gauges are left zero here — the cache that
+// owns the LRU fills them in.
+func (c *CacheCounters) Snapshot() CacheSnapshot {
+	if c == nil {
+		return CacheSnapshot{}
+	}
+	return CacheSnapshot{
+		Hits:         c.Hits.Load(),
+		Misses:       c.Misses.Load(),
+		Evictions:    c.Evictions.Load(),
+		EvictedBytes: c.EvictedBytes.Load(),
+		Drops:        c.Drops.Load(),
+	}
+}
+
+// CacheSnapshot is a point-in-time view of the shard cache: monotonic
+// lifecycle counters plus the resident-state gauges.
+type CacheSnapshot struct {
+	Hits, Misses            int64
+	Evictions, EvictedBytes int64
+	Drops                   int64
+	// CachedBytes is the resident footprint of every live cached shard;
+	// PinnedBytes the subset currently pinned by in-flight contractions;
+	// Shards the resident shard count.
+	CachedBytes, PinnedBytes, Shards int64
+}
+
+// String renders the cache snapshot compactly for logs.
+func (s CacheSnapshot) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d evicted_bytes=%d drops=%d cached_bytes=%d pinned_bytes=%d shards=%d",
+		s.Hits, s.Misses, s.Evictions, s.EvictedBytes, s.Drops, s.CachedBytes, s.PinnedBytes, s.Shards)
+}
+
 // Snapshot is a plain-value copy of the counters.
 type Snapshot struct {
 	Queries        int64

@@ -106,6 +106,38 @@ const (
 // so the latency to stop is one task, not one batch. batch < 1 is treated
 // as 1 (identical to PoolCtx).
 func PoolCtxBatch(ctx context.Context, workers, tasks, batch int, fn func(worker, task int)) error {
+	return PoolCtxBatchGuarded(ctx, workers, tasks, batch, Guard{}, fn)
+}
+
+// Guard brackets each worker's participation in a pool run: Acquire runs on
+// the worker's own goroutine before its first claim, Release runs (deferred,
+// so panics and cancellation cannot skip it) after its last task. The engine
+// uses this to pin shard-cache entries for the duration of a worker's
+// involvement — readers hold their pins across every task they claim, and
+// eviction waits for Release, not for individual tile boundaries. Either
+// func may be nil. Workers that never start (tasks exhausted before launch)
+// still run the pair: Acquire/Release are balanced exactly once per worker
+// goroutine that PoolCtxBatchGuarded spawns.
+type Guard struct {
+	Acquire func(worker int)
+	Release func(worker int)
+}
+
+func (g Guard) acquire(w int) {
+	if g.Acquire != nil {
+		g.Acquire(w)
+	}
+}
+
+func (g Guard) release(w int) {
+	if g.Release != nil {
+		g.Release(w)
+	}
+}
+
+// PoolCtxBatchGuarded is PoolCtxBatch with a per-worker Guard. See Guard for
+// the bracket contract; with a zero Guard it is exactly PoolCtxBatch.
+func PoolCtxBatchGuarded(ctx context.Context, workers, tasks, batch int, g Guard, fn func(worker, task int)) error {
 	workers = Workers(workers)
 	if tasks <= 0 {
 		return ctx.Err()
@@ -117,6 +149,8 @@ func PoolCtxBatch(ctx context.Context, workers, tasks, batch int, fn func(worker
 		workers = tasks
 	}
 	if workers == 1 {
+		g.acquire(0)
+		defer g.release(0)
 		for t := 0; t < tasks; t++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -131,6 +165,8 @@ func PoolCtxBatch(ctx context.Context, workers, tasks, batch int, fn func(worker
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			g.acquire(w)
+			defer g.release(w)
 			for ctx.Err() == nil {
 				hi := next.Add(int64(batch))
 				lo := hi - int64(batch)

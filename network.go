@@ -75,6 +75,14 @@ func EinsumN(expr string, tensors []*Tensor, opts ...Option) (*Tensor, *Plan, er
 		modes string
 	}
 	prepared := map[prepKey]*Sharded{}
+	// The prepared operands (including those wrapping intermediate products)
+	// are dead once the evaluation finishes; drop their shards so a network
+	// evaluation leaves nothing charged to the shard-cache budget.
+	defer func() {
+		for _, s := range prepared {
+			s.Drop()
+		}
+	}()
 	preshard := func(t *Tensor, modes []int) (*Sharded, time.Duration, error) {
 		k := prepKey{t: t, modes: fmt.Sprint(modes)}
 		if s, ok := prepared[k]; ok {

@@ -58,14 +58,25 @@ func Preshard(t *Tensor, modes []int, opts ...Option) (*Sharded, error) {
 		return nil, err
 	}
 	// Eager build for pinned tile grids: a later contraction using the same
-	// override lands exactly on these keys.
+	// override lands exactly on these keys. Warm builds without keeping a
+	// pin — the prepared operand holds no claim against eviction; a budget
+	// squeeze simply means the first contraction rebuilds.
 	for _, tile := range []uint64{o.tileL, o.tileR} {
 		if tile != 0 {
-			s.op.Shard(core.ShardKey{Tile: tile, Rep: o.rep}, o.threads)
+			s.op.Warm(core.ShardKey{Tile: tile, Rep: o.rep}, o.threads)
 		}
 	}
 	return s, nil
 }
+
+// Drop releases every tile shard cached inside the Sharded: unpinned shards
+// are reclaimed (their table storage recycled) before Drop returns, shards
+// still read by an in-flight contraction at their reader's exit. The Sharded
+// remains usable — a later contraction rebuilds what it needs — so Drop is
+// the explicit "I'm done reusing this for now" signal that keeps long-lived
+// programs from holding every operand's tables at the shard-cache budget's
+// mercy. Safe to call concurrently with contractions and repeatedly.
+func (s *Sharded) Drop() { s.op.Close() }
 
 // preshardValidated wraps an already-validated tensor: linearize (the
 // paper's pre-processing step) and set up the shard cache.
@@ -134,14 +145,15 @@ func contractSharded(l, r *Sharded, o *options, linearize time.Duration) (*Tenso
 	tStart := time.Now()
 
 	out, cst, err := core.ContractOperands(l.op, r.op, core.Config{
-		Threads:  o.threads,
-		TileL:    o.tileL,
-		TileR:    o.tileR,
-		Accum:    o.accum,
-		Platform: o.platform,
-		Counters: o.counters,
-		Rep:      o.rep,
-		Context:  o.ctx,
+		Threads:     o.threads,
+		TileL:       o.tileL,
+		TileR:       o.tileR,
+		Accum:       o.accum,
+		Platform:    o.platform,
+		Counters:    o.counters,
+		Rep:         o.rep,
+		Context:     o.ctx,
+		CacheBudget: o.shardBudget,
 	})
 	if err != nil {
 		return nil, nil, err

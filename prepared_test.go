@@ -7,7 +7,9 @@ import (
 	"sync"
 	"testing"
 
+	"fastcc/internal/core"
 	"fastcc/internal/ref"
+	"fastcc/internal/testutil"
 )
 
 // TestContractPreparedMatchesContract checks that the prepared path computes
@@ -296,4 +298,36 @@ func TestEinsumNRepeatedOperandReusesShards(t *testing.T) {
 	if !st.ShardReusedR {
 		t.Fatalf("repeated operand should reuse its shard: %+v", st)
 	}
+}
+
+// TestPreparedDropLeavesNothingOutstanding wires the leak-accounting helper
+// into the prepared suite: after contracting prepared operands and dropping
+// them, the shard cache must return to its captured charge and every output
+// chunk must be back in its pool — zero outstanding, the Drop contract.
+func TestPreparedDropLeavesNothingOutstanding(t *testing.T) {
+	base := testutil.Capture(
+		testutil.Gauge{Name: "shard-cache bytes", Read: func() int64 { return ShardCacheStats().CachedBytes }},
+		testutil.Gauge{Name: "shard-cache shards", Read: func() int64 { return ShardCacheStats().Shards }},
+		testutil.Gauge{Name: "output chunks", Read: core.OutputChunksOutstanding},
+	)
+
+	rng := rand.New(rand.NewSource(91))
+	l := randomTensor(rng, []uint64{12, 10, 9}, 400)
+	r := randomTensor(rng, []uint64{9, 8, 12}, 400)
+	ls, err := Preshard(l, []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Preshard(r, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // cold then warm: both paths must balance
+		if _, _, err := ContractPrepared(ls, rs, WithThreads(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ls.Drop()
+	rs.Drop()
+	base.Assert(t)
 }
