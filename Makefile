@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test test-checked race vet test-lifecycle fuzz-smoke bench-smoke bench-reuse bench-buildscale ci
+.PHONY: build test test-checked race vet vet-self test-lifecycle fuzz-smoke bench-smoke bench-reuse bench-buildscale ci
 
 build:
 	$(GO) build ./...
@@ -24,12 +24,25 @@ test-checked:
 race:
 	$(GO) test -race -short ./...
 
-# go vet plus the project's own analyzer suite (atomicmix, errdiscard,
-# hotalloc, linovf, poolescape, sealedmut, spanarith, wgmisuse — see
-# tools/analysis/ and README.md).
+# go vet plus the project's own analyzer suite: the per-package passes
+# (atomicmix, errdiscard, hotalloc, linovf, poolescape, sealedmut,
+# spanarith, wgmisuse) and the whole-program passes reasoning over a shared
+# call graph (lockorder, pinbracket, poolescapex) — see tools/analysis/ and
+# README.md. The driver binary is built once into bin/ so this leg and
+# vet-self share it; CI reuses the compiled analyzer packages via the Go
+# build cache.
 vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/fastcc-vet ./...
+	$(GO) build -o bin/fastcc-vet ./cmd/fastcc-vet
+	./bin/fastcc-vet ./...
+
+# The analyzer suite applied to itself: the framework, the passes and the
+# driver are Go code holding the same invariants they enforce on the
+# engine, and a mis-registered pass aborts here with exit 2 before it can
+# silently disable a gate on the main tree.
+vet-self:
+	$(GO) build -o bin/fastcc-vet ./cmd/fastcc-vet
+	./bin/fastcc-vet ./tools/analysis/... ./cmd/fastcc-vet
 
 # Shard-cache lifecycle gate: the concurrent Drop/eviction soak and the
 # core lifecycle suite under the race detector, then again under the
@@ -72,4 +85,4 @@ bench-buildscale:
 bench-reuse:
 	$(GO) run ./cmd/fastcc-bench -exp reuse -scale-frostt 0.002 -repeats 7 -platform desktop8 > BENCH_reuse.json
 
-ci: build vet test test-checked race test-lifecycle fuzz-smoke bench-smoke
+ci: build vet vet-self test test-checked race test-lifecycle fuzz-smoke bench-smoke

@@ -11,13 +11,18 @@
 // (hotalloc), WaitGroup fork/join mistakes (wgmisuse), discarded finalizer
 // errors (errdiscard), pool-obtained memory escaping its recycle point
 // (poolescape), narrow-integer span arithmetic (spanarith) and writes to
-// sealed structures outside their constructors (sealedmut). Findings are
-// suppressed per line with //fastcc:allow <name> -- reason; deliberate
-// ownership transfers carry //fastcc:owned instead.
+// sealed structures outside their constructors (sealedmut). Three
+// whole-program passes reason over a shared call graph: interprocedural
+// pool escape (poolescapex), mutex acquisition order against annotated
+// //fastcc:lockrank ranks (lockorder), and pin/guard/pool bracket balance on
+// every control-flow path (pinbracket). Findings are suppressed per line
+// with //fastcc:allow <name> -- reason; deliberate ownership transfers carry
+// //fastcc:owned instead.
 //
 // Exit status: 0 when clean, 1 on findings, 2 on usage or load errors —
-// including a malformed suite registration: a nil, unnamed, runless or
-// duplicate-named analyzer aborts the run instead of being skipped silently.
+// including a malformed suite registration: a nil, unnamed or
+// duplicate-named analyzer, or one that does not set exactly one of Run and
+// RunProgram, aborts the run instead of being skipped silently.
 package main
 
 import (
@@ -32,7 +37,10 @@ import (
 	"fastcc/tools/analysis/framework"
 	"fastcc/tools/analysis/hotalloc"
 	"fastcc/tools/analysis/linovf"
+	"fastcc/tools/analysis/lockorder"
+	"fastcc/tools/analysis/pinbracket"
 	"fastcc/tools/analysis/poolescape"
+	"fastcc/tools/analysis/poolescapex"
 	"fastcc/tools/analysis/sealedmut"
 	"fastcc/tools/analysis/spanarith"
 	"fastcc/tools/analysis/wgmisuse"
@@ -44,7 +52,10 @@ var All = []*framework.Analyzer{
 	errdiscard.Analyzer,
 	hotalloc.Analyzer,
 	linovf.Analyzer,
+	lockorder.Analyzer,
+	pinbracket.Analyzer,
 	poolescape.Analyzer,
+	poolescapex.Analyzer,
 	sealedmut.Analyzer,
 	spanarith.Analyzer,
 	wgmisuse.Analyzer,
@@ -66,8 +77,10 @@ func validateSuite(all []*framework.Analyzer) error {
 			return fmt.Errorf("analyzer %d is nil", i)
 		case a.Name == "":
 			return fmt.Errorf("analyzer %d has no name", i)
-		case a.Run == nil:
-			return fmt.Errorf("analyzer %q has no Run function", a.Name)
+		case a.Run == nil && a.RunProgram == nil:
+			return fmt.Errorf("analyzer %q has neither Run nor RunProgram", a.Name)
+		case a.Run != nil && a.RunProgram != nil:
+			return fmt.Errorf("analyzer %q sets both Run and RunProgram; exactly one must be set", a.Name)
 		case seen[a.Name]:
 			return fmt.Errorf("analyzer %q registered twice", a.Name)
 		}

@@ -1,0 +1,20 @@
+//go:build !fastcc_checked
+
+package coo
+
+// Checked reports whether the fastcc_checked matrix content stamps are
+// compiled in. Tests use it to decide whether a deliberate mutation of a
+// stamped matrix must panic (checked builds) or pass silently (normal
+// builds).
+const Checked = false
+
+// checkedMatrix is the zero-sized placeholder for the checked-mode content
+// stamp; the normal build trusts the "do not mutate after wrapping"
+// contract documented on core.NewOperand and Preshard and pays nothing
+// for it.
+type checkedMatrix struct{}
+
+// Stamp / VerifyStamp implement the content hash only under fastcc_checked;
+// the normal build wraps and shards the matrix without hashing it.
+func (m *Matrix) Stamp()             {}
+func (m *Matrix) VerifyStamp(string) {}

@@ -1,0 +1,85 @@
+//go:build fastcc_checked
+
+// fastcc_checked mode: a Matrix carries a content stamp — a hash over its
+// backing slices — set when the matrix is frozen behind an operand
+// (core.NewOperand, reached from Preshard and from the one-shot Contract
+// path) and re-verified at every shard build. Cached shards index into the
+// matrix's arrays, so a caller mutating the tensor through the original
+// slices after preparing it would silently poison every table built later;
+// under the checked build that mutation becomes a deterministic panic at
+// the next build instead.
+//
+// The stamp is a full O(nnz) rehash per verification. That is far too slow
+// for production — which is exactly why the invariant is a documented
+// contract plus this sanitizer, not a runtime check in normal builds.
+package coo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Checked reports whether the fastcc_checked matrix content stamps are
+// compiled in.
+const Checked = true
+
+type checkedMatrix struct {
+	sum     uint64
+	stamped bool
+}
+
+// Stamp freezes the matrix's content hash. Call it at the point the
+// "immutable from here on" contract begins; VerifyStamp panics on any
+// later divergence. Restamping is allowed and moves the contract point.
+func (m *Matrix) Stamp() {
+	m.ck.sum = m.contentSum()
+	m.ck.stamped = true
+}
+
+// VerifyStamp panics when the matrix content no longer hashes to the value
+// frozen by Stamp — some caller mutated the tensor through the original
+// slices after handing it to an operand — or when the matrix was never
+// stamped, meaning a shard build reached a matrix that skipped the
+// NewOperand funnel.
+func (m *Matrix) VerifyStamp(where string) {
+	if !m.ck.stamped {
+		panic(fmt.Sprintf(
+			"%s: matrix content stamp missing: shard build reached a matrix that never passed through core.NewOperand/Preshard",
+			where))
+	}
+	if got := m.contentSum(); got != m.ck.sum {
+		panic(fmt.Sprintf(
+			"%s: matrix content stamp mismatch (sum %#x, stamped %#x): the operand's backing slices were mutated after Preshard/NewOperand; cached shard tables index into them, so every later build would be silently wrong",
+			where, got, m.ck.sum))
+	}
+}
+
+// contentSum hashes the matrix's dims, lengths and all three backing
+// slices with word-at-a-time FNV-1a. Word granularity (rather than
+// per-byte) keeps the checked build's O(nnz) verification tolerable while
+// still catching any single-element mutation.
+func (m *Matrix) contentSum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		h = (h ^ x) * prime64
+	}
+	mix(m.ExtDim)
+	mix(m.CtrDim)
+	mix(uint64(len(m.Ext)))
+	mix(uint64(len(m.Ctr)))
+	mix(uint64(len(m.Val)))
+	for _, x := range m.Ext {
+		mix(x)
+	}
+	for _, x := range m.Ctr {
+		mix(x)
+	}
+	for _, v := range m.Val {
+		mix(math.Float64bits(v))
+	}
+	return h
+}

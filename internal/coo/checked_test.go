@@ -1,0 +1,87 @@
+package coo
+
+import "testing"
+
+// mustPanicWhenChecked runs fn expecting a stamp panic under
+// -tags fastcc_checked and silent success otherwise.
+func mustPanicWhenChecked(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if Checked && r == nil {
+			t.Fatalf("%s: fastcc_checked build did not panic on a deliberate post-stamp mutation", what)
+		}
+		if !Checked && r != nil {
+			t.Fatalf("%s: normal build panicked unexpectedly: %v", what, r)
+		}
+	}()
+	fn()
+}
+
+func stampedMatrix() *Matrix {
+	m := &Matrix{
+		Ext: []uint64{0, 1, 3, 3}, Ctr: []uint64{0, 2, 1, 3}, Val: []float64{1, 2, 3, 4},
+		ExtDim: 4, CtrDim: 4,
+	}
+	m.Stamp()
+	return m
+}
+
+// TestMatrixStampCleanVerify pins the happy path in both modes: an
+// unmutated matrix verifies repeatedly without complaint.
+func TestMatrixStampCleanVerify(t *testing.T) {
+	m := stampedMatrix()
+	for i := 0; i < 3; i++ {
+		m.VerifyStamp("test")
+	}
+}
+
+// TestMatrixStampDetectsValueMutation injects the bug class the stamp
+// exists for: the caller keeps its tensor after Preshard and writes a
+// value through the shared Val slice.
+func TestMatrixStampDetectsValueMutation(t *testing.T) {
+	m := stampedMatrix()
+	m.Val[2] = 99 // deliberate mutation through the original slice
+	mustPanicWhenChecked(t, "Val mutation", func() {
+		m.VerifyStamp("test")
+	})
+}
+
+// TestMatrixStampDetectsIndexMutation: a single flipped linearized index is
+// just as fatal to cached tables as a value change.
+func TestMatrixStampDetectsIndexMutation(t *testing.T) {
+	m := stampedMatrix()
+	m.Ext[0] = 2
+	mustPanicWhenChecked(t, "Ext mutation", func() {
+		m.VerifyStamp("test")
+	})
+}
+
+// TestMatrixStampDetectsTruncation: reslicing the backing arrays changes
+// the lengths the hash covers, not just the contents.
+func TestMatrixStampDetectsTruncation(t *testing.T) {
+	m := stampedMatrix()
+	m.Ctr = m.Ctr[:len(m.Ctr)-1]
+	mustPanicWhenChecked(t, "Ctr truncation", func() {
+		m.VerifyStamp("test")
+	})
+}
+
+// TestMatrixVerifyUnstampedPanics: a shard build reaching a matrix that
+// never passed the NewOperand funnel is itself a lifecycle violation.
+func TestMatrixVerifyUnstampedPanics(t *testing.T) {
+	m := &Matrix{Ext: []uint64{0}, Ctr: []uint64{0}, Val: []float64{1}, ExtDim: 1, CtrDim: 1}
+	mustPanicWhenChecked(t, "unstamped verify", func() {
+		m.VerifyStamp("test")
+	})
+}
+
+// TestMatrixRestampMovesContract: Stamp after a mutation re-freezes the
+// contract at the new content (the one-shot Contract path re-wraps the
+// same tensor across calls).
+func TestMatrixRestampMovesContract(t *testing.T) {
+	m := stampedMatrix()
+	m.Val[0] = 7
+	m.Stamp()
+	m.VerifyStamp("test")
+}

@@ -13,6 +13,8 @@ type Matrix struct {
 
 	ExtDim uint64 // extent of the linearized external index space
 	CtrDim uint64 // extent of the linearized contraction index space
+
+	ck checkedMatrix // content stamp; zero-sized unless built with fastcc_checked
 }
 
 // NNZ returns the number of nonzeros in the view.

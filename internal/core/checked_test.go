@@ -30,6 +30,31 @@ func TestShardGenerationCheck(t *testing.T) {
 	}
 }
 
+// TestShardBuildVerifiesMatrixStamp: under fastcc_checked, mutating the
+// matrixized operand through the original slices after NewOperand must
+// panic at the next shard build — the cached tables would otherwise index
+// into silently different data.
+func TestShardBuildVerifiesMatrixStamp(t *testing.T) {
+	m := &coo.Matrix{
+		Ext: []uint64{0, 1, 3}, Ctr: []uint64{0, 2, 3}, Val: []float64{1, 2, 3},
+		ExtDim: 4, CtrDim: 4,
+	}
+	op := NewOperand(m)
+	m.Val[0] = 42 // deliberate caller mutation after handing the matrix over
+	defer func() {
+		r := recover()
+		if coo.Checked && r == nil {
+			t.Fatal("fastcc_checked build built a shard over a matrix mutated after NewOperand")
+		}
+		if !coo.Checked && r != nil {
+			t.Fatalf("normal build panicked: %v", r)
+		}
+	}()
+	s, _ := op.Shard(ShardKey{Tile: 2, Rep: RepHash}, 1)
+	s.Unpin()
+	op.Close()
+}
+
 // TestBuiltShardPassesGenerationCheck pins the happy path: a shard produced
 // by Operand.Shard reads clean through the checked accessors.
 func TestBuiltShardPassesGenerationCheck(t *testing.T) {

@@ -130,7 +130,7 @@ func (s *Shard) pinnedNow() bool { return s.state.Load()>>2 != 0 }
 // completed build and the budget is (re)applied at each engine run from its
 // Config.
 type shardCache struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //fastcc:lockrank 1 exclusive -- never nested with Operand.mu, in either order
 	budget int64 // bytes; <= 0 means unlimited
 	bytes  int64 // resident footprint of listed shards
 	head   *Shard

@@ -23,13 +23,17 @@ type Operand struct {
 	// Mat is the matrixized operand; treated as immutable once wrapped.
 	Mat *coo.Matrix
 
-	mu     sync.Mutex
+	mu     sync.Mutex //fastcc:lockrank 2 exclusive -- never nested with shardLRU.mu, in either order
 	shards map[ShardKey]*Shard
 }
 
 // NewOperand wraps a matrixized operand for shard caching. The matrix must
-// not be mutated afterwards: cached shards index into it.
+// not be mutated afterwards: cached shards index into it. Under
+// fastcc_checked the matrix content is hash-stamped here and re-verified at
+// every shard build, so a caller mutating the tensor through the original
+// slices panics at the next build instead of silently poisoning the tables.
 func NewOperand(m *coo.Matrix) *Operand {
+	m.Stamp()
 	return &Operand{Mat: m, shards: make(map[ShardKey]*Shard)}
 }
 
@@ -189,6 +193,7 @@ func (o *Operand) Cached(key ShardKey) bool {
 //
 //fastcc:sealer -- the one function allowed to populate a Shard
 func (s *Shard) build(m *coo.Matrix, threads int) {
+	m.VerifyStamp("core.Shard.build")
 	part := coo.PartitionByTile(m, s.Key.Tile, threads)
 	s.nonEmpty = part.NonEmpty()
 	s.pairs = m.NNZ()

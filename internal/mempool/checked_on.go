@@ -9,10 +9,16 @@
 // between Put and Get, which would let a corrupted chunk escape detection.
 //
 // Poisoning scribbles over the slice's full capacity, so it is only applied
-// to pointer-free element types (checked once per pool via reflection);
-// element types containing pointers skip the sentinel — scribbling them
-// would corrupt GC metadata — but still get deterministic LIFO parking and
-// provenance tracking.
+// to pointer-free element types (checked once per pool via reflection).
+// Element types containing pointers — whose bytes the GC owns, so the
+// sentinel scribble must skip them — are covered by the shadow layer
+// instead: parked chunks are cleared to zero values (always GC-safe) and
+// re-vends assert the zeros survived, so the same stale-write bug class
+// panics deterministically for pointered chunk lists too. Independent of
+// element type, every cache keeps a shadow epoch counter per chunk backing
+// array (parity = residency), catching a chunk parked twice with no
+// intervening vend — the double-Put that would alias one chunk to two
+// future Gets, which the byte sentinel alone cannot see.
 package mempool
 
 import (
@@ -37,13 +43,16 @@ type checkedCache[T any] struct {
 	// vended records the backing arrays this cache has handed out, keyed by
 	// the array pointer; Release consults it to reject foreign chunks.
 	vendedSet map[*T]struct{}
+	epochs    epochSet
 }
 
 func (c *ChunkCache[T]) park(b []T) {
 	poison(b)
+	shadowPark(b)
 	c.ck.mu.Lock()
+	defer c.ck.mu.Unlock()
+	c.ck.epochs.park(chunkKey(b), "mempool.ChunkCache")
 	c.ck.parked = append(c.ck.parked, b)
-	c.ck.mu.Unlock()
 }
 
 func (c *ChunkCache[T]) unpark() ([]T, bool) {
@@ -56,8 +65,10 @@ func (c *ChunkCache[T]) unpark() ([]T, bool) {
 	b := c.ck.parked[n-1]
 	c.ck.parked[n-1] = nil
 	c.ck.parked = c.ck.parked[:n-1]
+	c.ck.epochs.unpark(chunkKey(b))
 	c.ck.mu.Unlock()
 	assertPoisoned(b, "mempool.ChunkCache")
+	assertShadow(b, "mempool.ChunkCache")
 	return b[:0], true
 }
 
@@ -86,6 +97,7 @@ func (c *ChunkCache[T]) vended(b []T) bool {
 type checkedSlice[T any] struct {
 	mu     sync.Mutex
 	parked [][]T
+	epochs epochSet
 }
 
 // checkedFreelist tracks which freelist key each parked value belongs to,
@@ -149,9 +161,11 @@ func (f *Freelist[K, V]) checkPut(k K, v V) {
 
 func (s *SlicePool[T]) park(b []T) {
 	poison(b)
+	shadowPark(b)
 	s.ck.mu.Lock()
+	defer s.ck.mu.Unlock()
+	s.ck.epochs.park(chunkKey(b), "mempool.SlicePool")
 	s.ck.parked = append(s.ck.parked, b)
-	s.ck.mu.Unlock()
 }
 
 func (s *SlicePool[T]) unpark() ([]T, bool) {
@@ -164,9 +178,99 @@ func (s *SlicePool[T]) unpark() ([]T, bool) {
 	b := s.ck.parked[n-1]
 	s.ck.parked[n-1] = nil
 	s.ck.parked = s.ck.parked[:n-1]
+	s.ck.epochs.unpark(chunkKey(b))
 	s.ck.mu.Unlock()
 	assertPoisoned(b, "mempool.SlicePool")
+	assertShadow(b, "mempool.SlicePool")
 	return b[:0], true
+}
+
+// epochSet is the checked-mode shadow epoch registry: one monotonically
+// increasing counter per chunk backing array, incremented at every park and
+// every unpark, so the counter's parity is the chunk's residency — even is
+// live (vended or never seen), odd is parked. It closes a gap the byte
+// sentinel leaves open regardless of element type: a chunk parked twice
+// with no intervening vend (double Put) passes the poison assert — the
+// second park just re-writes the sentinel — yet aliases one backing array
+// to two future Gets. The parity check rejects the second park instead.
+type epochSet struct {
+	ep map[unsafe.Pointer]uint64
+}
+
+// park advances the chunk to parked; callers must hold the owning cache's
+// mutex (the panic path releases it via their deferred Unlock).
+func (e *epochSet) park(p unsafe.Pointer, owner string) {
+	if p == nil {
+		return
+	}
+	if e.ep == nil {
+		e.ep = make(map[unsafe.Pointer]uint64)
+	}
+	if e.ep[p]%2 == 1 {
+		panic(fmt.Sprintf(
+			"%s: double recycle detected: chunk parked twice with no intervening Get (shadow epoch %d); two future Gets would vend aliases of the same storage",
+			owner, e.ep[p]))
+	}
+	e.ep[p]++
+}
+
+// unpark advances the chunk back to live; callers must hold the owning
+// cache's mutex.
+func (e *epochSet) unpark(p unsafe.Pointer) {
+	if p == nil || e.ep == nil {
+		return
+	}
+	e.ep[p]++
+}
+
+// chunkKey identifies a chunk by its backing-array pointer (nil for
+// zero-capacity slices, which carry no storage to track).
+func chunkKey[T any](b []T) unsafe.Pointer {
+	if cap(b) == 0 {
+		return nil
+	}
+	return unsafe.Pointer(unsafe.SliceData(b[:cap(b)]))
+}
+
+// shadowPark is poison's twin for the element types the byte sentinel must
+// skip: it clears the chunk's full capacity to zero values — always safe
+// under the GC — so assertShadow can detect a write through a stale
+// reference at re-vend time. Clearing also drops whatever the elements
+// pointed at, so parked pointered chunks never pin dead object graphs.
+func shadowPark[T any](b []T) {
+	if !pointered[T]() {
+		return
+	}
+	full := b[:cap(b)]
+	var zero T
+	for i := range full {
+		full[i] = zero
+	}
+}
+
+// assertShadow panics when a zero-parked chunk no longer reads as zero
+// values: someone wrote through a stale reference between Put/Release and
+// this re-vend. Pointer-free storage is covered by assertPoisoned instead.
+func assertShadow[T any](b []T, owner string) {
+	if !pointered[T]() {
+		return
+	}
+	full := b[:cap(b)]
+	for i := range full {
+		if !reflect.ValueOf(&full[i]).Elem().IsZero() {
+			panic(fmt.Sprintf(
+				"%s: use-after-recycle detected: element %d of a parked chunk was overwritten after Put/Release (want the zero value written at park time); some caller retained pointered storage past its recycle point",
+				owner, i))
+		}
+	}
+}
+
+// pointered reports whether T contains pointers and has bytes to check —
+// exactly the element types byteView refuses and the shadow layer covers.
+func pointered[T any]() bool {
+	var zero T
+	t := reflect.TypeOf(zero)
+	return t != nil && t.Size() > 0 && !pointerFree(t)
 }
 
 // poison writes the sentinel over b's full capacity when T is pointer-free.

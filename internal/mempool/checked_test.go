@@ -179,6 +179,84 @@ func TestFreelistNonComparableValuesSkipProvenance(t *testing.T) {
 	}
 }
 
+// TestChunkCachePointeredUseAfterRecycle: an element type containing
+// pointers forces the byte sentinel to stand down (the GC owns those bits);
+// the shadow layer's zero-fill parking must catch the same stale write.
+func TestChunkCachePointeredUseAfterRecycle(t *testing.T) {
+	c := NewChunkCache[[]int](4)
+	p := c.NewPool()
+	p.Append([]int{1, 2})
+	l := Concat(p)
+	stale := l.Chunks()[0]
+	c.Release(l)
+	if Checked && stale[:1][0] != nil {
+		t.Fatal("parked pointered chunk not cleared to zero values")
+	}
+	stale[:1][0] = []int{9} // deliberate use-after-recycle through the old chunk
+	mustPanicWhenChecked(t, "ChunkCache pointered", func() {
+		c.NewPool().Append([]int{7})
+	})
+}
+
+// TestChunkCachePointeredCleanRecycle pins the other half of the shadow
+// contract: a correct Release/NewPool cycle over a pointered element type
+// must never trip the zero assert, and the recycled chunk must work.
+func TestChunkCachePointeredCleanRecycle(t *testing.T) {
+	c := NewChunkCache[[]int](4)
+	for i := 0; i < 3; i++ {
+		p := c.NewPool()
+		p.Append([]int{i})
+		p.Append([]int{i, i})
+		c.Release(Concat(p))
+	}
+	p := c.NewPool()
+	p.Append([]int{42})
+	if got := p.Chunks()[0][0][0]; got != 42 {
+		t.Fatalf("recycled pointered chunk read back %d, want 42", got)
+	}
+}
+
+// TestSlicePoolDoublePutPanicsWhenChecked injects the aliasing bug the
+// shadow epoch exists for: the same backing array parked twice with no
+// intervening Get passes the poison assert (the second park re-writes the
+// sentinel) but would vend one chunk to two future Gets. The parity check
+// must reject the second park; the normal build silently double-parks.
+func TestSlicePoolDoublePutPanicsWhenChecked(t *testing.T) {
+	var s SlicePool[uint64]
+	b := s.Get(8)
+	b = append(b, 1)
+	s.Put(b)
+	mustPanicWhenChecked(t, "SlicePool double Put", func() {
+		s.Put(b)
+	})
+}
+
+// TestSlicePoolPointeredUseAfterRecycle is the SlicePool twin of the
+// pointered chunk test: scratch slices of pointered types get the shadow
+// zero-fill, not the sentinel.
+func TestSlicePoolPointeredUseAfterRecycle(t *testing.T) {
+	var s SlicePool[[]float64]
+	b := s.Get(4)
+	b = append(b, []float64{1.5})
+	s.Put(b)
+	b[:1][0] = []float64{9} // deliberate use-after-recycle
+	mustPanicWhenChecked(t, "SlicePool pointered", func() {
+		_ = s.Get(2)
+	})
+}
+
+// TestSlicePoolEpochReusableAfterCleanCycle: park/vend/park on the same
+// array must never trip the parity check — only back-to-back parks do.
+func TestSlicePoolEpochReusableAfterCleanCycle(t *testing.T) {
+	var s SlicePool[uint64]
+	b := s.Get(8)
+	for i := 0; i < 3; i++ {
+		s.Put(b)
+		b = s.Get(4) // LIFO returns the same backing array
+	}
+	s.Put(b)
+}
+
 // TestSlicePoolDropsZeroCapacity: parking nothing is counted, not recycled.
 func TestSlicePoolDropsZeroCapacity(t *testing.T) {
 	var s SlicePool[byte]

@@ -211,6 +211,8 @@ func (c *ChunkCache[T]) Dropped() uint64 { return c.dropped.Load() }
 // recycled — they are dropped for the garbage collector and counted in
 // Dropped, because a chunk the cache cannot vouch for may still be
 // referenced by its real owner.
+//
+//fastcc:owned l -- the recycle point: the cache owns l's chunks after this call
 func (c *ChunkCache[T]) Release(l *List[T]) {
 	if l == nil {
 		return
@@ -232,7 +234,7 @@ func (c *ChunkCache[T]) Release(l *List[T]) {
 // here between runs, keyed by their shape, so repeated contractions stop
 // reallocating tile-sized buffers.
 type Freelist[K comparable, V any] struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //fastcc:lockrank 3 -- leaf below the core lifecycle locks; park/vend only
 	perKey int
 	items  map[K][]V
 	ck     checkedFreelist[K, V] // zero-sized unless built with fastcc_checked
@@ -277,6 +279,8 @@ func (f *Freelist[K, V]) Note(k K, v V) { f.note(k, v) }
 // panics here — the wrong-shaped-accumulator-under-the-right-key bug is
 // rejected at the recycle point, not discovered at reuse. A value never seen
 // before is bound to k by this Put.
+//
+//fastcc:owned v -- the recycle point: the freelist owns v after this call
 func (f *Freelist[K, V]) Put(k K, v V) {
 	f.checkPut(k, v)
 	f.mu.Lock()
@@ -318,6 +322,8 @@ func (s *SlicePool[T]) Outstanding() int64 {
 // Put parks b for reuse; the caller must not retain it. Zero-capacity
 // slices carry no storage worth parking and are dropped with a count
 // (still a return for leak accounting: the caller handed back what it held).
+//
+//fastcc:owned b -- the recycle point: the pool owns b after this call
 func (s *SlicePool[T]) Put(b []T) {
 	s.returned.Add(1)
 	if cap(b) == 0 {

@@ -94,8 +94,20 @@ var wantArgRe = regexp.MustCompile("`([^`]*)`")
 
 // Run loads testdata/src/<name> for each named fixture package, applies the
 // analyzer, and reports mismatches through t.
+//
+// Per-package analyzers (Run set) are applied to each fixture package in
+// isolation, in argument order. Whole-program analyzers (RunProgram set) see
+// all named fixtures as one Program: every package is type-checked first,
+// the analyzer runs once over the combined call graph, and `want`
+// expectations are matched across all fixture files together — so a
+// two-package fixture can assert that a diagnostic in package a is caused by
+// a function in package b.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, fixtures ...string) {
 	t.Helper()
+	if a.RunProgram != nil {
+		runProgram(t, testdata, a, fixtures)
+		return
+	}
 	imp := fixtureImporter{local: map[string]*types.Package{}, std: stdImporter()}
 	for _, name := range fixtures {
 		dir := filepath.Join(testdata, "src", name)
@@ -106,14 +118,16 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, fixtures ...strin
 	}
 }
 
-func runDir(t *testing.T, dir string, a *framework.Analyzer, imp types.Importer) *types.Package {
+// loadDir parses and type-checks one fixture directory, returning the loaded
+// package and the per-file expectations.
+func loadDir(t *testing.T, dir string, imp types.Importer) (*framework.Package, map[string]map[int][]*expectation) {
 	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("reading fixture dir: %v", err)
 	}
 	var files []*ast.File
-	want := map[string]map[int][]*expectation{} // file -> line -> expectations
+	want := map[string]map[int][]*expectation{}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
@@ -133,34 +147,61 @@ func runDir(t *testing.T, dir string, a *framework.Analyzer, imp types.Importer)
 	if len(files) == 0 {
 		t.Fatalf("no fixture files in %s", dir)
 	}
-
 	info := framework.NewTypesInfo()
 	conf := types.Config{Importer: imp}
-	// The import path is the fixture directory's name, so sibling fixtures
-	// can import this one by that name.
 	pkg, err := conf.Check(filepath.Base(dir), sharedFset, files, info)
 	if err != nil {
 		t.Fatalf("type-checking fixture %s: %v", dir, err)
 	}
+	return &framework.Package{
+		ImportPath: filepath.Base(dir),
+		Dir:        dir,
+		Fset:       sharedFset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+	}, want
+}
+
+// runProgram loads every named fixture into one shared Program and applies a
+// whole-program analyzer once over it.
+func runProgram(t *testing.T, testdata string, a *framework.Analyzer, fixtures []string) {
+	t.Helper()
+	imp := fixtureImporter{local: map[string]*types.Package{}, std: stdImporter()}
+	var pkgs []*framework.Package
+	var allFiles []*ast.File
+	want := map[string]map[int][]*expectation{}
+	for _, name := range fixtures {
+		pkg, w := loadDir(t, filepath.Join(testdata, "src", name), imp)
+		imp.local[name] = pkg.Pkg
+		pkgs = append(pkgs, pkg)
+		allFiles = append(allFiles, pkg.Files...)
+		for file, byLine := range w {
+			want[file] = byLine
+		}
+	}
 
 	var diags []framework.Diagnostic
-	sup := framework.CollectSuppressions(sharedFset, files)
-	pass := &framework.Pass{
-		Analyzer:  a,
-		Fset:      sharedFset,
-		Files:     files,
-		Pkg:       pkg,
-		TypesInfo: info,
+	sup := framework.CollectSuppressions(sharedFset, allFiles)
+	pass := &framework.ProgramPass{
+		Analyzer: a,
+		Program:  framework.NewProgram(pkgs),
 		Report: func(d framework.Diagnostic) {
 			if !sup.Allows(sharedFset, d) {
 				diags = append(diags, d)
 			}
 		},
 	}
-	if err := a.Run(pass); err != nil {
+	if err := a.RunProgram(pass); err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
+	matchExpectations(t, diags, want)
+}
 
+// matchExpectations pairs reported diagnostics with `want` expectations and
+// reports both unexpected diagnostics and unmatched expectations through t.
+func matchExpectations(t *testing.T, diags []framework.Diagnostic, want map[string]map[int][]*expectation) {
+	t.Helper()
 	for _, d := range diags {
 		pos := sharedFset.Position(d.Pos)
 		exps := want[pos.Filename][pos.Line]
@@ -191,7 +232,31 @@ func runDir(t *testing.T, dir string, a *framework.Analyzer, imp types.Importer)
 			}
 		}
 	}
-	return pkg
+}
+
+func runDir(t *testing.T, dir string, a *framework.Analyzer, imp types.Importer) *types.Package {
+	t.Helper()
+	fpkg, want := loadDir(t, dir, imp)
+
+	var diags []framework.Diagnostic
+	sup := framework.CollectSuppressions(sharedFset, fpkg.Files)
+	pass := &framework.Pass{
+		Analyzer:  a,
+		Fset:      sharedFset,
+		Files:     fpkg.Files,
+		Pkg:       fpkg.Pkg,
+		TypesInfo: fpkg.TypesInfo,
+		Report: func(d framework.Diagnostic) {
+			if !sup.Allows(sharedFset, d) {
+				diags = append(diags, d)
+			}
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	matchExpectations(t, diags, want)
+	return fpkg.Pkg
 }
 
 func parseExpectations(t *testing.T, src string) map[int][]*expectation {

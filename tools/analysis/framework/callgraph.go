@@ -1,0 +1,230 @@
+// Call graph over the loaded packages' go/types info: the whole-program
+// substrate for the interprocedural analyzers (poolescapex, lockorder,
+// pinbracket). The graph is deliberately lightweight — nodes are declared
+// functions and function literals with source available; edges are the calls
+// that resolve statically through types.Info (direct calls, method calls on
+// concrete receivers, immediately invoked literals). Indirect calls through
+// function values, interface method calls and calls into packages loaded
+// only as export data resolve to no callee; nodes that contain any such call
+// are marked Opaque so clients can choose a conservative treatment.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Program is the whole-program view over one Load's pattern-matched
+// packages, with a lazily built shared call graph.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	graph *CallGraph
+}
+
+// NewProgram wraps the packages of one Load call. All packages of a program
+// must share one token.FileSet (Load guarantees this).
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{Pkgs: pkgs}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	}
+	return p
+}
+
+// CallGraph returns the program's call graph, building it on first use.
+func (p *Program) CallGraph() *CallGraph {
+	if p.graph == nil {
+		p.graph = buildCallGraph(p.Pkgs)
+	}
+	return p.graph
+}
+
+// A FuncNode is one function with source available: a declared function or
+// method (Obj non-nil), or a function literal (Lit non-nil). Literals link
+// back to the function they appear in via Encl.
+type FuncNode struct {
+	Obj  *types.Func     // declared functions; nil for literals
+	Decl *ast.FuncDecl   // non-nil iff Obj is
+	Lit  *ast.FuncLit    // non-nil iff this node is a literal
+	Pkg  *Package        // the package the body lives in
+	Encl *FuncNode       // for literals: the lexically enclosing function
+	Body *ast.BlockStmt  // nil for bodyless declarations (assembly stubs)
+	Type *ast.FuncType   // the node's signature syntax
+
+	// Calls lists every call expression in the body (not descending into
+	// nested literals — those get their own node), in source order.
+	Calls []CallSite
+
+	// Opaque records that the body contains calls the graph cannot resolve
+	// (function values, interfaces, export-only callees): the node may reach
+	// functions the edge set does not show.
+	Opaque bool
+}
+
+// Name returns a human-readable identifier for diagnostics.
+func (n *FuncNode) Name() string {
+	if n.Obj != nil {
+		return n.Obj.Name()
+	}
+	if n.Encl != nil {
+		return "func literal in " + n.Encl.Name()
+	}
+	return "func literal"
+}
+
+// A CallSite is one call expression inside a FuncNode's body.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Callee *FuncNode // nil when the callee has no node (unresolved or no source)
+	Go     bool      // the call is a `go` statement's call
+	Defer  bool      // the call is a `defer` statement's call
+}
+
+// A CallGraph indexes every FuncNode of a program.
+type CallGraph struct {
+	// ByObj maps declared functions to their nodes.
+	ByObj map[*types.Func]*FuncNode
+	// Nodes lists every node (declarations and literals) in deterministic
+	// package/file order.
+	Nodes []*FuncNode
+}
+
+// NodeOf returns the node of a declared function, or nil when the function
+// has no source in the program (export-only dependency, builtin).
+func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return g.ByObj[fn]
+}
+
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{ByObj: map[*types.Func]*FuncNode{}}
+
+	// First pass: create a node per declaration and per literal, so edges in
+	// the second pass can resolve forward references and cross-package calls.
+	type litKey struct{ lit *ast.FuncLit }
+	litNodes := map[*ast.FuncLit]*FuncNode{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				node := &FuncNode{Obj: obj, Decl: fd, Pkg: pkg, Body: fd.Body, Type: fd.Type}
+				if obj != nil {
+					g.ByObj[obj] = node
+				}
+				g.Nodes = append(g.Nodes, node)
+				if fd.Body == nil {
+					continue
+				}
+				collectLits(pkg, node, fd.Body, litNodes, g)
+			}
+		}
+	}
+
+	// Second pass: resolve the calls of every node's own body (literals are
+	// excluded from their enclosing function's walk — they have nodes).
+	for _, node := range g.Nodes {
+		if node.Body == nil {
+			continue
+		}
+		resolveCalls(node, litNodes, g)
+	}
+	return g
+}
+
+// collectLits creates a node for every function literal lexically inside
+// body, attributing each to its nearest enclosing function node.
+func collectLits(pkg *Package, encl *FuncNode, body ast.Node, lits map[*ast.FuncLit]*FuncNode, g *CallGraph) {
+	var walk func(n ast.Node, encl *FuncNode)
+	walk = func(n ast.Node, encl *FuncNode) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			lit, ok := c.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			node := &FuncNode{Lit: lit, Pkg: pkg, Encl: encl, Body: lit.Body, Type: lit.Type}
+			lits[lit] = node
+			g.Nodes = append(g.Nodes, node)
+			walk(lit.Body, node)
+			return false // children already walked with the literal as encl
+		})
+	}
+	walk(body, encl)
+}
+
+// resolveCalls fills node.Calls from the statements of node's own body,
+// stopping at nested literals.
+func resolveCalls(node *FuncNode, lits map[*ast.FuncLit]*FuncNode, g *CallGraph) {
+	info := node.Pkg.TypesInfo
+	goCalls := map[*ast.CallExpr]bool{}
+	deferCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(node.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // own body only; literals have their own nodes
+		case *ast.GoStmt:
+			goCalls[n.Call] = true
+		case *ast.DeferStmt:
+			deferCalls[n.Call] = true
+		case *ast.CallExpr:
+			site := CallSite{Call: n, Go: goCalls[n], Defer: deferCalls[n]}
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.FuncLit:
+				site.Callee = lits[fun]
+			default:
+				if fn := CalleeFunc(info, n); fn != nil {
+					site.Callee = g.ByObj[fn]
+					if site.Callee == nil && !isUniverseCall(info, n) {
+						// A real function without source in the program.
+						node.Opaque = true
+					}
+				} else if !IsConversionOrBuiltin(info, n) {
+					node.Opaque = true // function value / interface call
+				}
+			}
+			node.Calls = append(node.Calls, site)
+		}
+		return true
+	})
+}
+
+// isUniverseCall reports whether the call statically resolves to a function
+// but one we never expect source for (nothing — declared funcs outside the
+// program are simply opaque). Kept as a seam; currently always false.
+func isUniverseCall(info *types.Info, call *ast.CallExpr) bool {
+	return false
+}
+
+// IsConversionOrBuiltin reports whether the call expression is a type
+// conversion or a builtin call — the two call forms that are not function
+// calls and so never make a node opaque.
+func IsConversionOrBuiltin(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch info.Uses[fun].(type) {
+		case *types.Builtin, *types.TypeName:
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := info.Uses[fun.Sel].(*types.TypeName); ok {
+			return true
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.FuncType, *ast.StructType, *ast.InterfaceType, *ast.StarExpr:
+		return true
+	case *ast.IndexExpr: // generic instantiation F[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if _, isType := info.Uses[id].(*types.TypeName); isType {
+				return true
+			}
+		}
+	}
+	return false
+}

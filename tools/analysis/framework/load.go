@@ -145,15 +145,27 @@ func NewTypesInfo() *types.Info {
 	}
 }
 
-// RunAnalyzers applies every analyzer to every package and returns the
-// surviving (non-suppressed) diagnostics in file/line order.
+// RunAnalyzers applies every analyzer and returns the surviving
+// (non-suppressed) diagnostics in file/line order. Per-package analyzers
+// (Run) visit each package in turn; whole-program analyzers (RunProgram) run
+// once over a Program wrapping every package, with suppressions merged
+// across all of them.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
 	var diags []Diagnostic
 	var fset *token.FileSet
+	var programAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			programAnalyzers = append(programAnalyzers, a)
+		}
+	}
 	for _, pkg := range pkgs {
 		fset = pkg.Fset
 		sup := CollectSuppressions(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -168,6 +180,25 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *token.
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, nil, fmt.Errorf("framework: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	if len(programAnalyzers) > 0 && len(pkgs) > 0 {
+		prog := NewProgram(pkgs)
+		var allFiles []*ast.File
+		for _, pkg := range pkgs {
+			allFiles = append(allFiles, pkg.Files...)
+		}
+		sup := CollectSuppressions(prog.Fset, allFiles)
+		for _, a := range programAnalyzers {
+			pass := &ProgramPass{Analyzer: a, Program: prog}
+			pass.Report = func(d Diagnostic) {
+				if !sup.Allows(prog.Fset, d) {
+					diags = append(diags, d)
+				}
+			}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, nil, fmt.Errorf("framework: %s: %w", a.Name, err)
 			}
 		}
 	}

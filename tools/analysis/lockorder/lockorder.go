@@ -1,0 +1,385 @@
+// Package lockorder enforces a declared mutex acquisition hierarchy.
+//
+// The shard lifecycle (PR 5) holds two locks with a strict non-nesting
+// contract — the process-global LRU lock and the per-operand shard-map lock
+// must never be held together, in either order — and the mempool freelist
+// lock sits below both. Until now that contract lived in doc comments and
+// -race soaks, which only catch the interleavings a test happens to hit.
+// This pass makes the hierarchy declarative: a mutex declaration (struct
+// field or package variable) is annotated with its rank,
+//
+//	mu sync.Mutex //fastcc:lockrank 2 exclusive -- never nested with the LRU lock
+//
+// and the analyzer flags, whole-program and flow-sensitively, every path
+// that acquires ranked locks out of order. Lower ranks are outer: while
+// holding rank r, only locks of rank strictly greater than r may be
+// acquired. A rank marked `exclusive` is a leaf and a root at once —
+// nothing ranked may be held when it is acquired, and nothing ranked may be
+// acquired while it is held. Two exclusive locks can therefore never nest
+// in either order, which is exactly the LRU/operand contract.
+//
+// The analysis tracks may-held sets through each function's control-flow
+// graph (Lock/RLock add, Unlock/RUnlock remove; a deferred unlock keeps the
+// lock held to function exit, which is the point of deferring it) and
+// propagates may-acquire summaries over the call graph, so a violation two
+// calls deep is reported at the call site that creates the nesting.
+// Goroutine launches are treated like calls: conservative, since the
+// goroutine usually synchronizes with the launcher somewhere.
+//
+// Unannotated mutexes are invisible to this pass — the hierarchy is opt-in,
+// rank by rank. Findings are suppressed with //fastcc:allow lockorder.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"fastcc/tools/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name:       "lockorder",
+	Doc:        "flags mutex acquisitions that violate the //fastcc:lockrank hierarchy",
+	RunProgram: run,
+}
+
+// A rankedLock is one annotated mutex declaration.
+type rankedLock struct {
+	Rank      int
+	Exclusive bool
+	Label     string // Type.field or pkg.var, for diagnostics
+}
+
+// lockOp is one Lock/Unlock-family call on a ranked mutex.
+type lockOp struct {
+	obj     *types.Var
+	acquire bool
+	pos     token.Pos
+}
+
+type checker struct {
+	pass  *framework.ProgramPass
+	ranks map[*types.Var]rankedLock
+	// acquires is the flow-insensitive may-acquire summary per node,
+	// including transitive acquisitions through callees.
+	acquires map[*framework.FuncNode]map[*types.Var]bool
+}
+
+func run(pass *framework.ProgramPass) error {
+	c := &checker{pass: pass, ranks: map[*types.Var]rankedLock{}, acquires: map[*framework.FuncNode]map[*types.Var]bool{}}
+	for _, pkg := range pass.Program.Pkgs {
+		c.collectRanks(pkg)
+	}
+	if len(c.ranks) == 0 {
+		return nil
+	}
+	graph := pass.Program.CallGraph()
+
+	// May-acquire fixpoint: sets only grow, so sweep until stable.
+	for _, node := range graph.Nodes {
+		c.acquires[node] = map[*types.Var]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range graph.Nodes {
+			if node.Body == nil {
+				continue
+			}
+			acq := c.acquires[node]
+			before := len(acq)
+			for _, op := range c.lockOps(node, node.Body) {
+				if op.acquire {
+					acq[op.obj] = true
+				}
+			}
+			for _, site := range node.Calls {
+				if site.Callee == nil {
+					continue
+				}
+				for obj := range c.acquires[site.Callee] {
+					acq[obj] = true
+				}
+			}
+			if len(acq) > before {
+				changed = true
+			}
+		}
+	}
+
+	// Flow-sensitive held-set pass per function, then one reporting sweep
+	// over the fixpoint states.
+	for _, node := range graph.Nodes {
+		if node.Body != nil {
+			c.checkNode(node)
+		}
+	}
+	return nil
+}
+
+// collectRanks finds //fastcc:lockrank annotations on struct fields and
+// package-level variables.
+func (c *checker) collectRanks(pkg *framework.Package) {
+	fset := pkg.Fset
+	markers := framework.CollectLineMarkerArgs(fset, pkg.Files, "lockrank")
+	if len(markers) == 0 {
+		return
+	}
+	record := func(name *ast.Ident, label string) {
+		arg, ok := framework.MarkerArgAt(fset, markers, name.Pos())
+		if !ok {
+			return
+		}
+		v, _ := pkg.TypesInfo.Defs[name].(*types.Var)
+		if v == nil {
+			return
+		}
+		fields := strings.Fields(arg)
+		if len(fields) == 0 {
+			c.pass.Reportf(name.Pos(), "malformed //fastcc:lockrank on %s: missing rank", label)
+			return
+		}
+		rank, err := strconv.Atoi(fields[0])
+		if err != nil {
+			c.pass.Reportf(name.Pos(), "malformed //fastcc:lockrank on %s: %q is not a rank", label, fields[0])
+			return
+		}
+		exclusive := len(fields) > 1 && fields[1] == "exclusive"
+		c.ranks[v] = rankedLock{Rank: rank, Exclusive: exclusive, Label: label}
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch spec := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := spec.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						for _, name := range field.Names {
+							record(name, spec.Name.Name+"."+name.Name)
+						}
+					}
+				case *ast.ValueSpec:
+					for _, name := range spec.Names {
+						record(name, pkg.Pkg.Name()+"."+name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockOps returns the ranked Lock/Unlock-family calls lexically inside n,
+// excluding nested function literals (they are separate call-graph nodes)
+// and deferred calls (a deferred unlock releases at exit, not here).
+func (c *checker) lockOps(node *framework.FuncNode, n ast.Node) []lockOp {
+	info := node.Pkg.TypesInfo
+	var ops []lockOp
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var acquire bool
+			switch sel.Sel.Name {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				acquire = true
+			case "Unlock", "RUnlock":
+				acquire = false
+			default:
+				return true
+			}
+			obj := lockVar(info, sel.X)
+			if obj == nil {
+				return true
+			}
+			if _, ranked := c.ranks[obj]; ranked {
+				ops = append(ops, lockOp{obj: obj, acquire: acquire, pos: x.Pos()})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// lockVar resolves the receiver expression of a Lock call to the declared
+// mutex variable: the field object for o.mu, the variable object for a
+// package-level or local mutex, through pointers and parens.
+func lockVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return lockVar(info, e.X)
+		}
+	case *ast.StarExpr:
+		return lockVar(info, e.X)
+	}
+	return nil
+}
+
+// heldSet is the dataflow state: the ranked locks that may be held.
+type heldSet map[*types.Var]bool
+
+// checkNode runs the may-held dataflow over one function and reports
+// violations from the fixpoint states.
+func (c *checker) checkNode(node *framework.FuncNode) {
+	// Fast path: functions that touch no ranked locks and call nothing that
+	// does need no CFG.
+	touches := len(c.lockOps(node, node.Body)) > 0
+	if !touches {
+		for _, site := range node.Calls {
+			if site.Callee != nil && len(c.acquires[site.Callee]) > 0 {
+				touches = true
+				break
+			}
+		}
+	}
+	if !touches {
+		return
+	}
+
+	cfg := framework.BuildCFG(node.Body)
+	flow := &framework.Flow[heldSet]{
+		CFG:  cfg,
+		Init: heldSet{},
+		Transfer: func(n *framework.CFGNode, in heldSet) heldSet {
+			if n.Stmt == nil {
+				return in
+			}
+			for _, op := range c.lockOps(node, n.Stmt) {
+				if op.acquire {
+					in[op.obj] = true
+				} else {
+					delete(in, op.obj)
+				}
+			}
+			return in
+		},
+		Join: func(acc, in heldSet) heldSet {
+			for v := range in {
+				acc[v] = true
+			}
+			return acc
+		},
+		Equal: func(a, b heldSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for v := range a {
+				if !b[v] {
+					return false
+				}
+			}
+			return true
+		},
+		Copy: func(s heldSet) heldSet {
+			out := make(heldSet, len(s))
+			for v := range s {
+				out[v] = true
+			}
+			return out
+		},
+	}
+	res := flow.Solve()
+
+	// Reporting sweep: re-walk each reached statement with its entry state,
+	// checking acquisitions (direct and through callees) against held locks.
+	reported := map[string]bool{}
+	for _, n := range cfg.Nodes {
+		if !res.Reached[n.Index] || n.Stmt == nil {
+			continue
+		}
+		held := flow.Copy(res.In[n.Index])
+		for _, op := range c.lockOps(node, n.Stmt) {
+			if op.acquire {
+				c.checkAcquire(node, held, op.obj, op.pos, "", reported)
+				held[op.obj] = true
+			} else {
+				delete(held, op.obj)
+			}
+		}
+		// Calls in this statement whose callees may acquire ranked locks.
+		c.checkCalls(node, n.Stmt, held, reported)
+	}
+}
+
+// checkCalls checks every resolved call lexically in stmt against held.
+func (c *checker) checkCalls(node *framework.FuncNode, stmt ast.Stmt, held heldSet, reported map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	calls := map[*ast.CallExpr]*framework.FuncNode{}
+	for _, site := range node.Calls {
+		if site.Callee != nil {
+			calls[site.Call] = site.Callee
+		}
+	}
+	ast.Inspect(stmt, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calls[call]
+		if callee == nil {
+			return true
+		}
+		for obj := range c.acquires[callee] {
+			// The callee may acquire obj while we hold `held`: the nesting
+			// exists even though the Lock is out of line.
+			c.checkAcquire(node, held, obj, call.Pos(), " (via call to "+callee.Name()+")", reported)
+		}
+		return true
+	})
+}
+
+// checkAcquire reports every held lock that forbids acquiring m.
+func (c *checker) checkAcquire(node *framework.FuncNode, held heldSet, m *types.Var, pos token.Pos, via string, reported map[string]bool) {
+	mr := c.ranks[m]
+	for l := range held {
+		// l == m (self-deadlock, possibly through a callee) falls out of the
+		// rank comparison: rank(l) >= rank(m) always holds for the same lock.
+		lr := c.ranks[l]
+		var why string
+		switch {
+		case lr.Exclusive:
+			why = fmt.Sprintf("%s (rank %d) is exclusive: no ranked lock may be acquired while it is held", lr.Label, lr.Rank)
+		case mr.Exclusive:
+			why = fmt.Sprintf("%s (rank %d) is exclusive: it may not be acquired while any ranked lock is held", mr.Label, mr.Rank)
+		case lr.Rank >= mr.Rank:
+			why = fmt.Sprintf("rank %d (%s) must be acquired before rank %d (%s)", mr.Rank, mr.Label, lr.Rank, lr.Label)
+		default:
+			continue
+		}
+		key := fmt.Sprintf("%d/%p/%p", pos, l, m)
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		c.pass.Reportf(pos, "acquiring %s while holding %s in %s%s: %s",
+			mr.Label, lr.Label, node.Name(), via, why)
+	}
+}

@@ -1,0 +1,11 @@
+package lockorder
+
+import (
+	"testing"
+
+	"fastcc/tools/analysis/analysistest"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "lockdefs", "lockuse")
+}

@@ -1,0 +1,17 @@
+// Fixture package declaring the outer, exclusive lock of a two-package
+// hierarchy — the cross-package half of the lock-rank tests.
+package lockdefs
+
+import "sync"
+
+// LRU models the process-global eviction list.
+type LRU struct {
+	mu sync.Mutex //fastcc:lockrank 1 exclusive -- never nested with Table.mu
+}
+
+// Insert acquires the LRU lock; callers holding any ranked lock violate the
+// hierarchy through this call.
+func (l *LRU) Insert() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+}

@@ -1,0 +1,88 @@
+// Fixture package with in-package rank violations plus the cross-package
+// nesting: holding its own exclusive lock while calling into lockdefs, whose
+// method acquires the rank-1 exclusive lock.
+package lockuse
+
+import (
+	"sync"
+
+	"lockdefs"
+)
+
+// Table models the per-operand shard map.
+type Table struct {
+	mu sync.Mutex //fastcc:lockrank 2 exclusive -- never nested with LRU.mu
+}
+
+var statsMu sync.Mutex //fastcc:lockrank 3
+var traceMu sync.Mutex //fastcc:lockrank 4
+
+// crossPackage holds the exclusive Table lock across a call whose callee
+// acquires the rank-1 lock — the violation is two packages apart.
+func crossPackage(t *Table, l *lockdefs.LRU) {
+	t.mu.Lock()
+	l.Insert() // want `acquiring LRU.mu while holding Table.mu in crossPackage \(via call to Insert\): Table.mu \(rank 2\) is exclusive`
+	t.mu.Unlock()
+}
+
+// outOfRank nests a lower rank under a higher one.
+func outOfRank() {
+	traceMu.Lock()
+	statsMu.Lock() // want `rank 3 \(lockuse.statsMu\) must be acquired before rank 4 \(lockuse.traceMu\)`
+	statsMu.Unlock()
+	traceMu.Unlock()
+}
+
+// inRank nests in declared order: clean.
+func inRank() {
+	statsMu.Lock()
+	traceMu.Lock()
+	traceMu.Unlock()
+	statsMu.Unlock()
+}
+
+// doubleLock re-acquires a lock already held — self-deadlock falls out of
+// the rank comparison.
+func doubleLock() {
+	statsMu.Lock()
+	statsMu.Lock() // want `rank 3 \(lockuse.statsMu\) must be acquired before rank 3 \(lockuse.statsMu\)`
+	statsMu.Unlock()
+	statsMu.Unlock()
+}
+
+// sequential holds the locks one after the other, never together: clean —
+// the held-set analysis is flow-sensitive.
+func sequential() {
+	traceMu.Lock()
+	traceMu.Unlock()
+	statsMu.Lock()
+	statsMu.Unlock()
+}
+
+// branchHeld creates the nesting only on one branch; may-held still flags it.
+func branchHeld(cold bool) {
+	if cold {
+		traceMu.Lock()
+	}
+	statsMu.Lock() // want `rank 3 \(lockuse.statsMu\) must be acquired before rank 4 \(lockuse.traceMu\)`
+	statsMu.Unlock()
+	if cold {
+		traceMu.Unlock()
+	}
+}
+
+// exclusiveNest acquires a ranked lock while holding an exclusive one.
+func exclusiveNest(t *Table) {
+	t.mu.Lock()
+	statsMu.Lock() // want `Table.mu \(rank 2\) is exclusive: no ranked lock may be acquired while it is held`
+	statsMu.Unlock()
+	t.mu.Unlock()
+}
+
+// exclusiveUnderRanked acquires an exclusive lock while a ranked one is held.
+func exclusiveUnderRanked(t *Table) {
+	statsMu.Lock()
+	t.mu.Lock() // want `Table.mu \(rank 2\) is exclusive: it may not be acquired while any ranked lock is held`
+	t.mu.Unlock()
+	statsMu.Unlock()
+}

@@ -1,0 +1,913 @@
+// Package pinbracket checks that lifecycle brackets — shard pins, scheduler
+// guard acquire/release, and mempool get/put pairs — are balanced on every
+// control-flow path.
+//
+// The shard lifecycle's safety argument (internal/core/lifecycle.go) rests
+// on refcounts: eviction cannot reclaim tables while any pin is held, and a
+// doomed shard is reclaimed at its last Unpin. A leaked pin therefore pins
+// memory forever; a double release trips the refcount underflow panic at
+// the worst possible moment. The dangerous leaks are exactly the ones a
+// happy-path test never sees: early error returns, ctx.Done() branches,
+// panics past a missing defer. This pass walks each function's control-flow
+// graph with a may-unreleased counter per resource and reports any resource
+// whose acquisitions can exceed its releases (immediate plus deferred) on
+// some path to return.
+//
+// The protocol table is name-matched against the packages that own it:
+//
+//	acquire                              release
+//	(core.Operand).Shard → result 0      (core.Shard).Unpin
+//	(core.Shard).tryPin  → receiver*     (scheduler.Guard).release
+//	(core.Shard).mustPin → receiver      (mempool.Freelist).Put → arg 1
+//	(scheduler.Guard).acquire → receiver (mempool.SlicePool).Put → arg 0
+//	(mempool.Freelist).Get → result 0*
+//	(mempool.SlicePool).Get → result 0
+//
+// (* = conditional: the acquisition happens only on the true branch of the
+// returned ok bool, tracked through branch-condition refinement.)
+//
+// Functions that return a still-pinned resource on purpose (buildShards
+// hands both pinned shards to its caller) are summarized: the pin
+// obligation transfers to the caller's binding of the result. Conversely, a
+// resource that is returned, stored into longer-lived structure, or handed
+// to a goroutine stops being this function's obligation — poolescape(x)
+// police those hand-offs; pinbracket polices the paths in between.
+//
+// scheduler.Guard composite literals are checked as a pair: the multiset of
+// resources pinned in the Acquire literal must equal the multiset unpinned
+// in the Release literal, and the two literals are exempt from the
+// per-function check (each is one half of a bracket by design).
+//
+// Suppression: //fastcc:allow pinbracket at the acquire site, or the
+// //fastcc:owned line marker when the unbalanced path is an audited
+// ownership transfer the analyzer cannot see (e.g. aliased results on a
+// self-contraction).
+package pinbracket
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fastcc/tools/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name:       "pinbracket",
+	Doc:        "flags pin/guard/pool brackets (tryPin-Unpin, Guard acquire-release, Get-Put) unbalanced on some path",
+	RunProgram: run,
+}
+
+// protoSpec describes one protocol method. Matching is by package NAME,
+// receiver type name and method name so analysistest fixtures modeling the
+// protocol in stub packages exercise the same code paths as the repo.
+type protoSpec struct {
+	pkg, typ, method string
+	// For acquires: where the resource lands. result >= 0 binds that result;
+	// result < 0 binds the receiver.
+	result int
+	// condResult >= 0 gates the acquisition on the truth of that bool result
+	// (tryPin's return, Freelist.Get's ok). < 0 means unconditional.
+	condResult int
+	// For releases: target < 0 releases the receiver; >= 0 releases that
+	// argument.
+	target int
+	// kind names the bracket in diagnostics.
+	kind string
+}
+
+var acquireSpecs = []protoSpec{
+	{pkg: "core", typ: "Operand", method: "Shard", result: 0, condResult: -1, kind: "shard pin"},
+	{pkg: "core", typ: "Shard", method: "tryPin", result: -1, condResult: 0, kind: "shard pin"},
+	{pkg: "core", typ: "Shard", method: "mustPin", result: -1, condResult: -1, kind: "shard pin"},
+	{pkg: "scheduler", typ: "Guard", method: "acquire", result: -1, condResult: -1, kind: "guard"},
+	{pkg: "mempool", typ: "Freelist", method: "Get", result: 0, condResult: 1, kind: "freelist value"},
+	{pkg: "mempool", typ: "SlicePool", method: "Get", result: 0, condResult: -1, kind: "pooled slice"},
+}
+
+var releaseSpecs = []protoSpec{
+	{pkg: "core", typ: "Shard", method: "Unpin", target: -1, kind: "shard pin"},
+	{pkg: "scheduler", typ: "Guard", method: "release", target: -1, kind: "guard"},
+	{pkg: "mempool", typ: "Freelist", method: "Put", target: 1, kind: "freelist value"},
+	{pkg: "mempool", typ: "SlicePool", method: "Put", target: 0, kind: "pooled slice"},
+}
+
+func run(pass *framework.ProgramPass) error {
+	graph := pass.Program.CallGraph()
+	c := &checker{
+		pass:      pass,
+		graph:     graph,
+		summaries: map[*types.Func]map[int]string{},
+		exemptLit: map[*ast.FuncLit]bool{},
+	}
+
+	var allFiles []*ast.File
+	for _, pkg := range pass.Program.Pkgs {
+		allFiles = append(allFiles, pkg.Files...)
+	}
+	c.owned = framework.CollectLineMarkers(pass.Program.Fset, allFiles, "owned")
+
+	c.checkGuardLiterals()
+	c.buildSummaries()
+
+	for _, node := range graph.Nodes {
+		if node.Body == nil || node.Pkg.Pkg.Name() == "mempool" {
+			// The pool implementation vends and parks its own storage; its
+			// internals are the protocol, not a client of it.
+			continue
+		}
+		if node.Lit != nil && c.exemptLit[node.Lit] {
+			continue // one half of a Guard bracket
+		}
+		c.checkNode(node)
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *framework.ProgramPass
+	graph *framework.CallGraph
+	// summaries maps declared functions to the result indices they return
+	// still-acquired, with the bracket kind.
+	summaries map[*types.Func]map[int]string
+	// exemptLit marks Acquire/Release literals of checked Guard values.
+	exemptLit map[*ast.FuncLit]bool
+	owned     map[string]map[int]bool
+}
+
+// matchCall resolves a method call against a spec table, returning the spec
+// and the selector (for receiver resolution).
+func matchCall(info *types.Info, call *ast.CallExpr, specs []protoSpec) (*protoSpec, *ast.SelectorExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, nil
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil, nil
+	}
+	for i := range specs {
+		s := &specs[i]
+		if s.method == sel.Sel.Name && s.typ == obj.Name() && s.pkg == obj.Pkg().Name() {
+			return s, sel
+		}
+	}
+	return nil, nil
+}
+
+// exprVar resolves a simple expression to a local variable object; anything
+// else (fields, indexes, calls) returns nil and the resource is untracked.
+func exprVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Defs[e]
+		if obj == nil {
+			obj = info.Uses[e]
+		}
+		v, _ := obj.(*types.Var)
+		if v != nil && !v.IsField() {
+			return v
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprVar(info, e.X)
+		}
+	}
+	return nil
+}
+
+// bracketState is the dataflow state over one function.
+type bracketState struct {
+	// count is the may-unreleased acquisitions per resource, saturated at 2
+	// so loops terminate; join is max (a leak on any path is a leak).
+	count map[*types.Var]int
+	// deferred is the must-registered deferred releases per resource; join
+	// is min (a defer only helps if every path registers it).
+	deferred map[*types.Var]int
+	// cond maps an ok-bool variable to the resource whose acquisition it
+	// gates, between the binding and the branch that tests it.
+	cond map[*types.Var]*types.Var
+}
+
+func newState() bracketState {
+	return bracketState{count: map[*types.Var]int{}, deferred: map[*types.Var]int{}, cond: map[*types.Var]*types.Var{}}
+}
+
+func copyState(s bracketState) bracketState {
+	out := bracketState{
+		count:    make(map[*types.Var]int, len(s.count)),
+		deferred: make(map[*types.Var]int, len(s.deferred)),
+		cond:     make(map[*types.Var]*types.Var, len(s.cond)),
+	}
+	for k, v := range s.count {
+		out.count[k] = v
+	}
+	for k, v := range s.deferred {
+		out.deferred[k] = v
+	}
+	for k, v := range s.cond {
+		out.cond[k] = v
+	}
+	return out
+}
+
+const countCap = 2
+
+func (c *checker) checkNode(node *framework.FuncNode) {
+	info := node.Pkg.TypesInfo
+	// Fast path: skip functions with no protocol calls and no calls to
+	// pin-returning functions.
+	if !c.touchesProtocol(node) {
+		return
+	}
+
+	// acquirePos records where each resource was first acquired, for
+	// reporting; kinds names its bracket.
+	acquirePos := map[*types.Var]token.Pos{}
+	kinds := map[*types.Var]string{}
+	note := func(v *types.Var, pos token.Pos, kind string) {
+		if v == nil {
+			return
+		}
+		if _, ok := acquirePos[v]; !ok {
+			acquirePos[v] = pos
+			kinds[v] = kind
+		}
+	}
+
+	// Only resources held in variables local to this node are this node's
+	// obligation: an acquisition binding a captured outer variable (a
+	// goroutine filling its launcher's named result) belongs to the
+	// function that owns the variable.
+	lo, hi := node.Body.Pos(), node.Body.End()
+	if node.Decl != nil {
+		lo = node.Decl.Pos()
+	} else if node.Lit != nil {
+		lo = node.Lit.Pos()
+	}
+	local := func(v *types.Var) bool { return v != nil && lo <= v.Pos() && v.Pos() < hi }
+
+	cfg := framework.BuildCFG(node.Body)
+	flow := &framework.Flow[bracketState]{
+		CFG:  cfg,
+		Init: newState(),
+		Transfer: func(n *framework.CFGNode, in bracketState) bracketState {
+			return c.transfer(info, n.Stmt, in, local, note)
+		},
+		Refine: func(e framework.CFGEdge, out bracketState) bracketState {
+			return c.refine(info, e.Cond, e.Branch, out)
+		},
+		Join:  joinState,
+		Equal: equalState,
+		Copy:  copyState,
+	}
+	res := flow.Solve()
+
+	// Evaluate leaks at each function-leaving node separately (returns,
+	// terminal panics, the fall-off-the-end node). Checking the joined exit
+	// state instead would pair one path's acquisition with another path's
+	// missing defer and report paths that do not exist.
+	reported := map[*types.Var]bool{}
+	for _, pred := range cfg.Exit.Preds {
+		if !res.Reached[pred.Index] {
+			continue
+		}
+		final := res.Out[pred.Index]
+		for v, n := range final.count {
+			if n-final.deferred[v] <= 0 || reported[v] {
+				continue
+			}
+			pos, ok := acquirePos[v]
+			if !ok {
+				continue
+			}
+			reported[v] = true
+			if framework.MarkedAt(c.pass.Program.Fset, c.owned, pos) {
+				continue
+			}
+			c.pass.Reportf(pos,
+				"%s %q acquired here may not be released on every path to return in %s; release it on each branch or defer the release (or annotate //fastcc:owned / //fastcc:allow pinbracket with the invariant)",
+				kinds[v], v.Name(), node.Name())
+		}
+	}
+}
+
+// touchesProtocol reports whether the node contains any protocol call or a
+// call to a pin-returning function.
+func (c *checker) touchesProtocol(node *framework.FuncNode) bool {
+	info := node.Pkg.TypesInfo
+	found := false
+	ast.Inspect(node.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if s, _ := matchCall(info, call, acquireSpecs); s != nil {
+			found = true
+		} else if s, _ := matchCall(info, call, releaseSpecs); s != nil {
+			found = true
+		} else if fn := framework.CalleeFunc(info, call); fn != nil && len(c.summaries[fn]) > 0 {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// transfer applies one shallow statement to the state.
+func (c *checker) transfer(info *types.Info, stmt ast.Stmt, s bracketState, local func(*types.Var) bool, note func(*types.Var, token.Pos, string)) bracketState {
+	switch stmt := stmt.(type) {
+	case nil:
+		return s
+
+	case *ast.AssignStmt:
+		// Acquisition binding: x := recv.Get(...) / v, ok := fl.Get(k).
+		if len(stmt.Rhs) == 1 {
+			if call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr); ok {
+				if spec, sel := matchCall(info, call, acquireSpecs); spec != nil {
+					c.applyAcquireBind(info, spec, sel, call, stmt.Lhs, s, local, note)
+					return s
+				}
+				if fn := framework.CalleeFunc(info, call); fn != nil {
+					if pinned := c.summaries[fn]; len(pinned) > 0 {
+						for idx, kind := range pinned {
+							if idx < len(stmt.Lhs) {
+								if v := exprVar(info, stmt.Lhs[idx]); local(v) {
+									bump(s.count, v)
+									note(v, call.Pos(), kind)
+								}
+							}
+						}
+						return s
+					}
+				}
+			}
+		}
+		// Moves and escapes.
+		for i, lhs := range stmt.Lhs {
+			if i >= len(stmt.Rhs) {
+				break
+			}
+			src := exprVar(info, stmt.Rhs[i])
+			if src == nil || s.count[src] == 0 {
+				continue
+			}
+			if dst := exprVar(info, lhs); local(dst) {
+				// Plain move: the obligation follows the value.
+				s.count[dst] += s.count[src]
+				if s.count[dst] > countCap {
+					s.count[dst] = countCap
+				}
+				delete(s.count, src)
+				note(dst, lhs.Pos(), "moved resource")
+			} else {
+				// Stored into a field, index, captured outer variable, or
+				// other non-local place: the obligation transfers out of this
+				// function (poolescapex polices whether that store was
+				// legitimate).
+				delete(s.count, src)
+			}
+		}
+		return s
+
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+		if !ok {
+			return s
+		}
+		if spec, sel := matchCall(info, call, releaseSpecs); spec != nil {
+			var v *types.Var
+			if spec.target < 0 {
+				v = exprVar(info, sel.X)
+			} else if spec.target < len(call.Args) {
+				v = exprVar(info, call.Args[spec.target])
+			}
+			if v != nil && s.count[v] > 0 {
+				s.count[v]--
+			}
+			return s
+		}
+		if spec, sel := matchCall(info, call, acquireSpecs); spec != nil {
+			// Receiver-bound unconditional acquire as a bare statement
+			// (mustPin, guard.acquire). Conditional acquires as bare
+			// statements discard the ok bool — the branch refinement owns
+			// the count when they appear as conditions (record the site here
+			// so a leak can name it); ignore otherwise.
+			if spec.result < 0 {
+				if v := exprVar(info, sel.X); local(v) {
+					if spec.condResult < 0 {
+						bump(s.count, v)
+					}
+					note(v, call.Pos(), spec.kind)
+				}
+			}
+			return s
+		}
+		return s
+
+	case *ast.DeferStmt:
+		c.applyDefer(info, stmt.Call, s)
+		return s
+
+	case *ast.GoStmt:
+		// Ownership moves to the goroutine: clear anything it receives or
+		// captures (poolescape's goroutine rules police the hand-off).
+		for _, arg := range stmt.Call.Args {
+			if v := exprVar(info, arg); v != nil {
+				delete(s.count, v)
+			}
+		}
+		if lit, ok := stmt.Call.Fun.(*ast.FuncLit); ok {
+			for v := range s.count {
+				if capturesVar(info, lit, v) {
+					delete(s.count, v)
+				}
+			}
+		}
+		return s
+
+	case *ast.ReturnStmt:
+		// Returning a resource transfers the obligation to the caller (the
+		// pin-returning summary re-imposes it there).
+		for _, res := range stmt.Results {
+			if v := exprVar(info, res); v != nil {
+				delete(s.count, v)
+			}
+		}
+		return s
+	}
+	return s
+}
+
+// applyAcquireBind handles an assignment whose single RHS is an acquire call.
+func (c *checker) applyAcquireBind(info *types.Info, spec *protoSpec, sel *ast.SelectorExpr, call *ast.CallExpr, lhs []ast.Expr, s bracketState, local func(*types.Var) bool, note func(*types.Var, token.Pos, string)) {
+	var resource *types.Var
+	if spec.result < 0 {
+		resource = exprVar(info, sel.X)
+	} else if spec.result < len(lhs) {
+		resource = exprVar(info, lhs[spec.result])
+	}
+	if !local(resource) {
+		// Bound anywhere but a local variable (a field, an index, a captured
+		// outer variable): the obligation lands elsewhere immediately — the
+		// escape analyzers police that; nothing to track here.
+		return
+	}
+	if spec.condResult < 0 {
+		bump(s.count, resource)
+		note(resource, call.Pos(), spec.kind)
+		return
+	}
+	if spec.condResult < len(lhs) {
+		if okVar := exprVar(info, lhs[spec.condResult]); okVar != nil {
+			s.cond[okVar] = resource
+			note(resource, call.Pos(), spec.kind)
+		}
+	}
+}
+
+// applyDefer registers deferred releases: a direct protocol release, or a
+// function literal containing them. A deferred non-protocol call that
+// receives a tracked resource is treated as its release — the idiom is a
+// cleanup helper, and reporting it would punish extraction.
+func (c *checker) applyDefer(info *types.Info, call *ast.CallExpr, s bracketState) {
+	if spec, sel := matchCall(info, call, releaseSpecs); spec != nil {
+		var v *types.Var
+		if spec.target < 0 {
+			v = exprVar(info, sel.X)
+		} else if spec.target < len(call.Args) {
+			v = exprVar(info, call.Args[spec.target])
+		}
+		if v != nil {
+			s.deferred[v]++
+		}
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if spec, sel := matchCall(info, inner, releaseSpecs); spec != nil {
+				var v *types.Var
+				if spec.target < 0 {
+					v = exprVar(info, sel.X)
+				} else if spec.target < len(inner.Args) {
+					v = exprVar(info, inner.Args[spec.target])
+				}
+				if v != nil {
+					s.deferred[v]++
+				}
+			}
+			return true
+		})
+		return
+	}
+	for _, arg := range call.Args {
+		if v := exprVar(info, arg); v != nil && s.count[v] > 0 {
+			s.deferred[v]++
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if v := exprVar(info, sel.X); v != nil && s.count[v] > 0 {
+			s.deferred[v]++
+		}
+	}
+}
+
+// refine adjusts state along a branch edge for conditional acquisitions.
+func (c *checker) refine(info *types.Info, cond ast.Expr, branch bool, s bracketState) bracketState {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.CallExpr:
+		// if s.tryPin() { ... }: the pin exists only on the true edge.
+		if spec, sel := matchCall(info, e, acquireSpecs); spec != nil && spec.condResult >= 0 && spec.result < 0 {
+			if branch {
+				if v := exprVar(info, sel.X); v != nil {
+					bump(s.count, v)
+				}
+			}
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			if res, pending := s.cond[v]; pending {
+				if branch {
+					bump(s.count, res)
+				}
+				delete(s.cond, v)
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return c.refine(info, e.X, !branch, s)
+		}
+	case *ast.BinaryExpr:
+		// On the true edge of `a && b` both operands are true; other
+		// shapes stay unrefined (conservative).
+		if e.Op == token.LAND && branch {
+			s = c.refine(info, e.X, true, s)
+			s = c.refine(info, e.Y, true, s)
+		}
+	}
+	return s
+}
+
+func bump(count map[*types.Var]int, v *types.Var) {
+	if count[v] < countCap {
+		count[v]++
+	}
+}
+
+func joinState(acc, in bracketState) bracketState {
+	for v, n := range in.count {
+		if n > acc.count[v] {
+			acc.count[v] = n
+		}
+	}
+	// deferred: a defer only covers the exit if every joining path
+	// registered it.
+	for v, n := range acc.deferred {
+		if in.deferred[v] < n {
+			if in.deferred[v] == 0 {
+				delete(acc.deferred, v)
+			} else {
+				acc.deferred[v] = in.deferred[v]
+			}
+		}
+	}
+	// cond binds survive a join only when both sides agree.
+	for v, res := range acc.cond {
+		if in.cond[v] != res {
+			delete(acc.cond, v)
+		}
+	}
+	return acc
+}
+
+func equalState(a, b bracketState) bool {
+	if len(a.count) != len(b.count) || len(a.deferred) != len(b.deferred) || len(a.cond) != len(b.cond) {
+		return false
+	}
+	for v, n := range a.count {
+		if b.count[v] != n {
+			return false
+		}
+	}
+	for v, n := range a.deferred {
+		if b.deferred[v] != n {
+			return false
+		}
+	}
+	for v, res := range a.cond {
+		if b.cond[v] != res {
+			return false
+		}
+	}
+	return true
+}
+
+// buildSummaries computes, to a fixpoint, which functions return
+// still-acquired resources in which result positions. A result is pinned
+// when an acquire-bound variable reaches it: bound to a named result
+// (anywhere in the body, including inside closures — buildShards assigns a
+// named result from a goroutine), or returned directly; or when the return
+// forwards a call to another pin-returning function.
+func (c *checker) buildSummaries() {
+	for changed := true; changed; {
+		changed = false
+		for _, node := range c.graph.Nodes {
+			if node.Decl == nil || node.Body == nil || node.Pkg.Pkg.Name() == "mempool" {
+				continue
+			}
+			obj := node.Obj
+			if obj == nil {
+				continue
+			}
+			pinned := c.summarizeNode(node)
+			if len(pinned) > len(c.summaries[obj]) {
+				c.summaries[obj] = pinned
+				changed = true
+			}
+		}
+	}
+}
+
+func (c *checker) summarizeNode(node *framework.FuncNode) map[int]string {
+	info := node.Pkg.TypesInfo
+	pinned := map[int]string{}
+
+	// Named results by variable.
+	namedResults := map[*types.Var]int{}
+	if node.Type.Results != nil {
+		idx := 0
+		for _, field := range node.Type.Results.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					namedResults[v] = idx
+				}
+				idx++
+			}
+		}
+	}
+
+	// Variables bound from acquire calls anywhere in the body (closures
+	// included: a goroutine assigning a named result still pins it for the
+	// caller). Conditional acquires count too — if the ok bool is also
+	// returned the caller refines on it, and over-approximating here only
+	// asks the caller to release on the ok path, which is the contract.
+	acquired := map[*types.Var]string{}
+	ast.Inspect(node.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if spec, sel := matchCall(info, call, acquireSpecs); spec != nil {
+			var v *types.Var
+			if spec.result < 0 {
+				v = exprVar(info, sel.X)
+			} else if spec.result < len(as.Lhs) {
+				v = exprVar(info, as.Lhs[spec.result])
+			}
+			if v != nil {
+				acquired[v] = spec.kind
+			}
+		} else if fn := framework.CalleeFunc(info, call); fn != nil {
+			for idx, kind := range c.summaries[fn] {
+				if idx < len(as.Lhs) {
+					if v := exprVar(info, as.Lhs[idx]); v != nil {
+						acquired[v] = kind
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// A released-before-return variable still summarizes as pinned if it is
+	// ALSO a named result; that over-approximation does not occur in this
+	// codebase (helpers either hand pins out or bracket them, not both).
+	for v, kind := range acquired {
+		if idx, ok := namedResults[v]; ok {
+			pinned[idx] = kind
+		}
+	}
+	ast.Inspect(node.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure's return is not this function's return
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for i, res := range ret.Results {
+			if v := exprVar(info, res); v != nil {
+				if kind, ok := acquired[v]; ok {
+					pinned[i] = kind
+				}
+				continue
+			}
+			if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && len(ret.Results) == 1 {
+				// return f(...) forwarding a pin-returning callee (or a
+				// direct protocol acquire).
+				if spec, _ := matchCall(info, call, acquireSpecs); spec != nil && spec.result >= 0 && spec.condResult < 0 {
+					pinned[spec.result] = spec.kind
+				} else if fn := framework.CalleeFunc(info, call); fn != nil {
+					for idx, kind := range c.summaries[fn] {
+						pinned[idx] = kind
+					}
+				}
+			}
+		}
+		return true
+	})
+	return pinned
+}
+
+// checkGuardLiterals verifies that each scheduler.Guard composite literal
+// acquires and releases the same resources, and exempts its two halves from
+// the per-function bracket check.
+func (c *checker) checkGuardLiterals() {
+	for _, pkg := range c.pass.Program.Pkgs {
+		info := pkg.TypesInfo
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				t := info.TypeOf(lit)
+				if t == nil || !isGuardType(t) {
+					return true
+				}
+				var acq, rel *ast.FuncLit
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					fl, ok := ast.Unparen(kv.Value).(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					switch key.Name {
+					case "Acquire":
+						acq = fl
+					case "Release":
+						rel = fl
+					}
+				}
+				if acq == nil && rel == nil {
+					return true
+				}
+				acquired := guardLitResources(info, acq, acquireSpecs)
+				released := guardLitResources(info, rel, releaseSpecs)
+				if !sameMultiset(acquired, released) {
+					c.pass.Reportf(lit.Pos(),
+						"Guard Acquire/Release literals are unbalanced: Acquire pins %s but Release unpins %s",
+						describeMultiset(acquired), describeMultiset(released))
+				}
+				if acq != nil {
+					c.exemptLit[acq] = true
+				}
+				if rel != nil {
+					c.exemptLit[rel] = true
+				}
+				return true
+			})
+		}
+	}
+}
+
+// guardLitResources collects the multiset of receiver resources of protocol
+// calls in one Guard half.
+func guardLitResources(info *types.Info, lit *ast.FuncLit, specs []protoSpec) map[*types.Var]int {
+	out := map[*types.Var]int{}
+	if lit == nil {
+		return out
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if spec, sel := matchCall(info, call, specs); spec != nil {
+			if v := exprVar(info, sel.X); v != nil {
+				out[v]++
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func sameMultiset(a, b map[*types.Var]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, n := range a {
+		if b[v] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func describeMultiset(m map[*types.Var]int) string {
+	if len(m) == 0 {
+		return "nothing"
+	}
+	names := make([]string, 0, len(m))
+	for v, n := range m {
+		name := v.Name()
+		if n > 1 {
+			name += " (x" + itoa(n) + ")"
+		}
+		names = append(names, name)
+	}
+	// Sort for deterministic diagnostics.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += ", " + n
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// isGuardType reports whether t is a named type Guard declared in a package
+// named "scheduler".
+func isGuardType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Guard" && obj.Pkg() != nil && obj.Pkg().Name() == "scheduler"
+}
+
+// capturesVar reports whether the literal references v from outside itself.
+func capturesVar(info *types.Info, lit *ast.FuncLit, v *types.Var) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

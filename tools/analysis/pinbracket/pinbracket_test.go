@@ -1,0 +1,12 @@
+package pinbracket
+
+import (
+	"testing"
+
+	"fastcc/tools/analysis/analysistest"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer,
+		"mempool", "scheduler", "core", "pinuse")
+}

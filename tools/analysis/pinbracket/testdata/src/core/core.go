@@ -1,0 +1,74 @@
+// Stub of internal/core's pin protocol plus in-package bracket tests —
+// tryPin/mustPin are unexported, so their call sites can only live here,
+// exactly as in the real package.
+package core
+
+import "scheduler"
+
+// ShardKey keys the shard cache.
+type ShardKey struct{ Tile uint64 }
+
+// Shard is a pinnable resource.
+type Shard struct{ pins int }
+
+func (s *Shard) tryPin() bool { return true }
+func (s *Shard) mustPin()     {}
+
+// Unpin releases one pin.
+func (s *Shard) Unpin() {}
+
+// Operand caches shards.
+type Operand struct{ shards map[ShardKey]*Shard }
+
+// Shard returns the shard for key pinned; the caller owes one Unpin.
+func (o *Operand) Shard(key ShardKey, threads int) (*Shard, bool) {
+	return new(Shard), true
+}
+
+// tryPinLeak acquires on the true branch but forgets the release on one of
+// its sub-paths.
+func tryPinLeak(s *Shard, fail bool) {
+	if s.tryPin() { // want `shard pin "s" acquired here may not be released on every path`
+		if fail {
+			return
+		}
+		s.Unpin()
+	}
+}
+
+// tryPinBalanced releases the conditional pin on every path it exists: clean.
+func tryPinBalanced(s *Shard, fail bool) {
+	if s.tryPin() {
+		if fail {
+			s.Unpin()
+			return
+		}
+		s.Unpin()
+	}
+}
+
+// mustPinLeak skips the release on the early return.
+func mustPinLeak(s *Shard, fail bool) {
+	s.mustPin() // want `shard pin "s" acquired here may not be released on every path`
+	if fail {
+		return
+	}
+	s.Unpin()
+}
+
+// balancedGuard pins the same shards its Release half unpins: clean, and
+// both halves are exempt from the per-function bracket check.
+func balancedGuard(ls, rs *Shard) scheduler.Guard {
+	return scheduler.Guard{
+		Acquire: func(w int) { ls.mustPin(); rs.mustPin() },
+		Release: func(w int) { rs.Unpin(); ls.Unpin() },
+	}
+}
+
+// lopsidedGuard pins two shards but releases only one.
+func lopsidedGuard(ls, rs *Shard) scheduler.Guard {
+	return scheduler.Guard{ // want `Guard Acquire/Release literals are unbalanced: Acquire pins ls, rs but Release unpins ls`
+		Acquire: func(w int) { ls.mustPin(); rs.mustPin() },
+		Release: func(w int) { ls.Unpin() },
+	}
+}

@@ -1,0 +1,31 @@
+// Stub of internal/mempool: just enough surface for pinbracket's protocol
+// table (package name, receiver type names, method signatures). Bodies are
+// irrelevant — the analyzer exempts the mempool package itself.
+package mempool
+
+// Freelist parks reusable values per key.
+type Freelist[K comparable, V any] struct {
+	items map[K][]V
+}
+
+// Get pops a parked value, reporting whether one was available.
+func (f *Freelist[K, V]) Get(k K) (V, bool) {
+	var zero V
+	return zero, false
+}
+
+// Put parks v for future Get(k) calls.
+func (f *Freelist[K, V]) Put(k K, v V) {}
+
+// SlicePool recycles scratch slices.
+type SlicePool[T any] struct {
+	parked [][]T
+}
+
+// Get returns an empty slice with capacity at least capHint.
+func (s *SlicePool[T]) Get(capHint int) []T {
+	return make([]T, 0, capHint)
+}
+
+// Put parks b for reuse.
+func (s *SlicePool[T]) Put(b []T) {}

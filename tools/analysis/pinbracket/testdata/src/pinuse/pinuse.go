@@ -1,0 +1,125 @@
+// Client-side bracket tests: pins obtained through core's exported API and
+// pool values from mempool, checked across the whole fixture program so the
+// pin-returning helper summary crosses the package boundary.
+package pinuse
+
+import (
+	"context"
+	"errors"
+
+	"core"
+	"mempool"
+)
+
+func use(s *core.Shard) {}
+
+// leakOnError is the headline case: a pin leaked on an error path the
+// happy-path test never takes.
+func leakOnError(o *core.Operand, fail bool) error {
+	s, _ := o.Shard(core.ShardKey{}, 1) // want `shard pin "s" acquired here may not be released on every path`
+	if fail {
+		return errors.New("build failed")
+	}
+	s.Unpin()
+	return nil
+}
+
+// ctxLeak leaks the pin on the cancellation branch.
+func ctxLeak(ctx context.Context, o *core.Operand) error {
+	s, _ := o.Shard(core.ShardKey{}, 1) // want `shard pin "s" acquired here may not be released on every path`
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	s.Unpin()
+	return nil
+}
+
+// deferredUnpin is the idiomatic bracket: clean.
+func deferredUnpin(o *core.Operand) {
+	s, _ := o.Shard(core.ShardKey{}, 1)
+	defer s.Unpin()
+	use(s)
+}
+
+// branchReleased unpins on both paths: clean.
+func branchReleased(o *core.Operand, fail bool) error {
+	s, _ := o.Shard(core.ShardKey{}, 1)
+	if fail {
+		s.Unpin()
+		return errors.New("no")
+	}
+	s.Unpin()
+	return nil
+}
+
+// pinnedShard hands its caller a still-pinned shard: the summary transfers
+// the obligation, so this function itself is clean.
+func pinnedShard(o *core.Operand) *core.Shard {
+	s, _ := o.Shard(core.ShardKey{}, 1)
+	return s
+}
+
+// summaryLeak receives the obligation from pinnedShard's summary and drops
+// it on the early return.
+func summaryLeak(o *core.Operand, fail bool) {
+	s := pinnedShard(o) // want `shard pin "s" acquired here may not be released on every path`
+	if fail {
+		return
+	}
+	s.Unpin()
+}
+
+// summaryBalanced defers the release of the summarized pin: clean.
+func summaryBalanced(o *core.Operand) {
+	s := pinnedShard(o)
+	defer s.Unpin()
+	use(s)
+}
+
+var fl mempool.Freelist[int, []float64]
+
+// freelistLeak takes the value on the ok branch but loses it on the error
+// sub-path.
+func freelistLeak(k int, fail bool) {
+	v, ok := fl.Get(k) // want `freelist value "v" acquired here may not be released on every path`
+	if !ok {
+		return
+	}
+	if fail {
+		return
+	}
+	fl.Put(k, v)
+}
+
+// freelistBalanced puts the value back on every path it exists: clean.
+func freelistBalanced(k int, fail bool) {
+	v, ok := fl.Get(k)
+	if !ok {
+		return
+	}
+	if fail {
+		fl.Put(k, v)
+		return
+	}
+	fl.Put(k, v)
+}
+
+var sp mempool.SlicePool[float64]
+
+// sliceLeak drops the pooled slice on the early return.
+func sliceLeak(fail bool) {
+	buf := sp.Get(64) // want `pooled slice "buf" acquired here may not be released on every path`
+	if fail {
+		return
+	}
+	sp.Put(buf)
+}
+
+// sliceDeferred parks the slice via defer: clean.
+func sliceDeferred() {
+	buf := sp.Get(64)
+	defer sp.Put(buf)
+	_ = append(buf, 1)
+}

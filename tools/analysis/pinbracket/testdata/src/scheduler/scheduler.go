@@ -1,0 +1,56 @@
+// Stub of internal/scheduler's Guard plus in-package bracket tests —
+// acquire/release are unexported, so their call sites can only live here,
+// exactly as in the real package.
+package scheduler
+
+// Guard brackets per-worker resource access.
+type Guard struct {
+	Acquire func(w int)
+	Release func(w int)
+}
+
+func (g *Guard) acquire(w int) {
+	if g.Acquire != nil {
+		g.Acquire(w)
+	}
+}
+
+func (g *Guard) release(w int) {
+	if g.Release != nil {
+		g.Release(w)
+	}
+}
+
+// leakOnError drops the guard on the error path — the bracket must be
+// released before every return.
+func leakOnError(g *Guard, fail bool) error {
+	g.acquire(0) // want `guard "g" acquired here may not be released on every path`
+	if fail {
+		return errDropped
+	}
+	g.release(0)
+	return nil
+}
+
+// deferredRelease is the idiomatic bracket: clean.
+func deferredRelease(g *Guard) {
+	g.acquire(0)
+	defer g.release(0)
+}
+
+// branchBalanced releases on both paths: clean.
+func branchBalanced(g *Guard, fail bool) error {
+	g.acquire(0)
+	if fail {
+		g.release(0)
+		return errDropped
+	}
+	g.release(0)
+	return nil
+}
+
+type guardErr string
+
+func (e guardErr) Error() string { return string(e) }
+
+var errDropped error = guardErr("dropped")

@@ -74,7 +74,7 @@ func run(pass *framework.Pass) error {
 }
 
 func checkFunc(pass *framework.Pass, fn *ast.FuncDecl, owned map[string]map[int]bool) {
-	tracked := trackedVars(pass, fn)
+	tracked := trackedVars(pass.TypesInfo, fn.Body)
 
 	report := func(pos token.Pos, format string, args ...any) {
 		if framework.MarkedAt(pass.Fset, owned, pos) {
@@ -148,10 +148,10 @@ func checkFunc(pass *framework.Pass, fn *ast.FuncDecl, owned map[string]map[int]
 // assigned directly from a producing call, or aliased from such a variable.
 // Two passes make the alias rule order-insensitive (good enough for the
 // straight-line pool usage in this codebase).
-func trackedVars(pass *framework.Pass, fn *ast.FuncDecl) map[*types.Var]bool {
+func trackedVars(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
 	tracked := map[*types.Var]bool{}
 	for pass2 := 0; pass2 < 2; pass2++ {
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ast.Inspect(body, func(n ast.Node) bool {
 			as, ok := n.(*ast.AssignStmt)
 			if !ok {
 				return true
@@ -159,8 +159,8 @@ func trackedVars(pass *framework.Pass, fn *ast.FuncDecl) map[*types.Var]bool {
 			// v, ok := freelist.Get(k): one producing call, multiple LHS —
 			// the value is the first result.
 			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
-				if sourceCall(pass.TypesInfo, as.Rhs[0]) {
-					markVar(pass.TypesInfo, tracked, as.Lhs[0])
+				if sourceCall(info, as.Rhs[0]) {
+					markVar(info, tracked, as.Lhs[0])
 				}
 				return true
 			}
@@ -168,14 +168,35 @@ func trackedVars(pass *framework.Pass, fn *ast.FuncDecl) map[*types.Var]bool {
 				if i >= len(as.Rhs) {
 					break
 				}
-				if sourceCall(pass.TypesInfo, as.Rhs[i]) || isPooled(pass.TypesInfo, tracked, as.Rhs[i]) {
-					markVar(pass.TypesInfo, tracked, lhs)
+				if sourceCall(info, as.Rhs[i]) || isPooled(info, tracked, as.Rhs[i]) {
+					markVar(info, tracked, lhs)
 				}
 			}
 			return true
 		})
 	}
 	return tracked
+}
+
+// TrackedVars, IsPooled and SourceCall export the pool-tracking core for the
+// interprocedural sibling analyzer (poolescapex), which reuses the same
+// notion of "pool-obtained" while adding call-graph reasoning on top.
+
+// TrackedVars returns the local variables of body that hold pool-obtained
+// memory (assigned from a producing mempool call, directly or via aliases).
+func TrackedVars(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	return trackedVars(info, body)
+}
+
+// IsPooled reports whether e evaluates to pool-obtained memory under the
+// given tracked-variable set.
+func IsPooled(info *types.Info, tracked map[*types.Var]bool, e ast.Expr) bool {
+	return isPooled(info, tracked, e)
+}
+
+// SourceCall reports whether e is a call to a producing mempool method.
+func SourceCall(info *types.Info, e ast.Expr) bool {
+	return sourceCall(info, e)
 }
 
 func markVar(info *types.Info, tracked map[*types.Var]bool, lhs ast.Expr) {

@@ -1,0 +1,11 @@
+package poolescapex
+
+import (
+	"testing"
+
+	"fastcc/tools/analysis/analysistest"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "mempool", "sink", "poolx")
+}

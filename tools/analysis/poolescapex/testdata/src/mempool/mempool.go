@@ -1,0 +1,20 @@
+// Stub of internal/mempool for the interprocedural escape tests: just the
+// producing/consuming surface poolescapex's tracking keys on.
+package mempool
+
+// SlicePool recycles scratch slices.
+type SlicePool struct {
+	parked [][]float64
+}
+
+// Get returns an empty slice with capacity at least capHint.
+func (s *SlicePool) Get(capHint int) []float64 {
+	return make([]float64, 0, capHint)
+}
+
+// Put parks b for reuse.
+//
+//fastcc:owned b -- the recycle point: the pool owns b after this call
+func (s *SlicePool) Put(b []float64) {
+	s.parked = append(s.parked, b)
+}

@@ -1,0 +1,78 @@
+// Client fixture: pool-obtained memory crossing function and package
+// boundaries. The two-hop case is the one the intraprocedural poolescape
+// pass cannot see.
+package poolx
+
+import (
+	"mempool"
+	"sink"
+)
+
+var sp mempool.SlicePool
+
+// twoHop leaks through a callee that itself only forwards: Forward → Stash →
+// package variable, diagnosed at the call that gives the memory away.
+func twoHop() {
+	buf := sp.Get(64)
+	sink.Forward(buf) // want `pool-obtained memory passed to Forward escapes via parameter b \(passed to Stash, which escapes it \(stored in a package variable\)\)`
+	sp.Put(buf)
+}
+
+// oneHop leaks through a direct store in the callee.
+func oneHop() {
+	buf := sp.Get(64)
+	sink.Stash(buf) // want `pool-obtained memory passed to Stash escapes via parameter b \(stored in a package variable\)`
+	sp.Put(buf)
+}
+
+// returned leaks through the callee's return value.
+func returned() []float64 {
+	buf := sp.Get(64)
+	out := sink.Keep(buf) // want `pool-obtained memory passed to Keep escapes via parameter b \(returned\)`
+	sp.Put(buf)
+	return out
+}
+
+// toGoroutine leaks into a goroutine launched by the callee.
+func toGoroutine() {
+	buf := sp.Get(64)
+	sink.Spawn(buf) // want `pool-obtained memory passed to Spawn escapes via parameter b \(passed to a goroutine\)`
+	sp.Put(buf)
+}
+
+// reader passes the buffer to a read-only callee: clean.
+func reader() float64 {
+	buf := sp.Get(64)
+	t := sink.Sum(buf)
+	sp.Put(buf)
+	return t
+}
+
+// adopted hands the buffer to a callee whose parameter is //fastcc:owned:
+// the transfer is the callee's documented contract, so no report.
+func adopted() {
+	buf := sp.Get(64)
+	sink.Adopt(buf)
+}
+
+// recycled hands the buffer back through Put, whose parameter is owned by
+// the pool: clean by the same contract.
+func recycled() {
+	buf := sp.Get(64)
+	sp.Put(buf)
+}
+
+// callerOwned transfers ownership at an audited call site: the line marker
+// suppresses the report for this caller only.
+func callerOwned() {
+	buf := sp.Get(64)
+	sink.Stash(buf) //fastcc:owned -- audited: this caller cedes the buffer to the spill list
+}
+
+// aliased leaks through a local alias of the pooled buffer.
+func aliased() {
+	buf := sp.Get(64)
+	view := buf[:0]
+	sink.Stash(view) // want `pool-obtained memory passed to Stash escapes via parameter b \(stored in a package variable\)`
+	sp.Put(buf)
+}

@@ -1,0 +1,44 @@
+// Fixture package of helpers that escape (or don't escape) their slice
+// parameters — the callee half of the cross-package escape tests.
+package sink
+
+var spill [][]float64
+
+// Stash keeps the buffer alive past the caller's recycle point.
+func Stash(b []float64) {
+	spill = append(spill, b)
+}
+
+// Forward hands the buffer to Stash — the escape is one more hop away.
+func Forward(b []float64) {
+	Stash(b)
+}
+
+// Keep returns the buffer to its caller.
+func Keep(b []float64) []float64 {
+	return b
+}
+
+// Spawn hands the buffer to a goroutine.
+func Spawn(b []float64) {
+	go consume(b)
+}
+
+func consume(b []float64) {}
+
+// Sum only reads the buffer: callers stay clean.
+func Sum(b []float64) float64 {
+	var t float64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Adopt takes ownership of b by contract: the parameter-level annotation
+// exempts it from the summary and documents the transfer where it happens.
+//
+//fastcc:owned b -- audited transfer: the sink owns b after this call
+func Adopt(b []float64) {
+	spill = append(spill, b)
+}

@@ -25,6 +25,24 @@
 // or with the //fastcc:owned line marker (shared with poolescape) when the
 // suppression is an ownership claim: the annotated site's owner bounds the
 // operands by construction (e.g. spans its own sealer validated).
+//
+// A second, flow-sensitive rule catches the wrap the expression rule cannot
+// see: cursor accumulation. A narrow-int variable that accumulates inside a
+// loop —
+//
+//	var off int32
+//	for _, sp := range spans {
+//	    out = append(out, pairs[off])   // off may already have wrapped
+//	    off += sp.n
+//	}
+//
+// wraps *during the accumulation*, so by the time it reaches an index the
+// damage is done and no widening at the use site helps (pairs[int(off)] is
+// equally wrong). The analyzer runs the forward dataflow engine over each
+// function's CFG, marking narrow variables that self-accumulate (`off += n`,
+// `off = off + n`) on a node that lies on a CFG cycle, and reports any index
+// or slice-bound use of such a cursor. The fix is to accumulate in int and
+// convert at the narrow boundary instead.
 package spanarith
 
 import (
@@ -57,7 +75,278 @@ func run(pass *framework.Pass) error {
 			}
 		}
 	})
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkCursors(pass, n.Body, owned)
+				}
+			case *ast.FuncLit:
+				checkCursors(pass, n.Body, owned)
+			}
+			return true
+		})
+	}
 	return nil
+}
+
+// cursorSet is the dataflow state of the accumulation rule: the narrow-int
+// variables that may hold a loop-accumulated value. Join is union — a cursor
+// accumulated on any path into a node is suspect there.
+type cursorSet map[*types.Var]bool
+
+// checkCursors runs the cursor-accumulation dataflow over one function body
+// and reports index/slice-bound uses of accumulated narrow cursors.
+func checkCursors(pass *framework.Pass, body *ast.BlockStmt, owned map[string]map[int]bool) {
+	info := pass.TypesInfo
+	if !hasNarrowAccum(info, body) {
+		return // fast path: nothing accumulates in a narrow type here
+	}
+	cfg := framework.BuildCFG(body)
+	inLoop := loopResident(cfg)
+	flow := &framework.Flow[cursorSet]{
+		CFG:  cfg,
+		Init: cursorSet{},
+		Transfer: func(n *framework.CFGNode, in cursorSet) cursorSet {
+			if n.Stmt != nil {
+				applyCursorStmt(info, n.Stmt, in, inLoop[n.Index])
+			}
+			return in
+		},
+		Join: func(acc, in cursorSet) cursorSet {
+			for v := range in {
+				acc[v] = true
+			}
+			return acc
+		},
+		Equal: func(a, b cursorSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for v := range a {
+				if !b[v] {
+					return false
+				}
+			}
+			return true
+		},
+		Copy: func(s cursorSet) cursorSet {
+			out := make(cursorSet, len(s))
+			for v := range s {
+				out[v] = true
+			}
+			return out
+		},
+	}
+	res := flow.Solve()
+
+	seen := map[cursorUse]bool{} // one report per cursor per line
+	for _, n := range cfg.Nodes {
+		if !res.Reached[n.Index] || n.Stmt == nil {
+			continue
+		}
+		reportCursorUses(pass, n.Stmt, res.In[n.Index], owned, seen)
+	}
+}
+
+// applyCursorStmt updates the cursor set for one shallow statement. A narrow
+// variable that self-accumulates on a loop-resident node becomes a cursor; a
+// plain re-assignment (off = 0, off = base) clears it unless the new value is
+// itself an accumulated cursor.
+func applyCursorStmt(info *types.Info, stmt ast.Stmt, s cursorSet, inLoop bool) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+		if len(as.Lhs) != 1 {
+			return
+		}
+		if v := boundIdentVar(info, as.Lhs[0]); v != nil && narrowInt(v.Type()) != "" && inLoop {
+			s[v] = true
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			v := boundIdentVar(info, lhs)
+			if v == nil || narrowInt(v.Type()) == "" {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if b, ok := rhs.(*ast.BinaryExpr); ok && inLoop &&
+				(b.Op == token.ADD || b.Op == token.SUB || b.Op == token.MUL) && refsVar(info, b, v) {
+				s[v] = true // off = off + n inside a loop
+				continue
+			}
+			if src := boundIdentVar(info, rhs); src != nil && s[src] {
+				s[v] = true // alias of an accumulated cursor
+				continue
+			}
+			delete(s, v) // reinitialized: off = 0 resets the cursor
+		}
+	}
+}
+
+// cursorUse keys report deduplication: one diagnostic per cursor per line,
+// however many times the identifier appears in the bounds.
+type cursorUse struct {
+	v    *types.Var
+	line int
+}
+
+// reportCursorUses walks one shallow statement (excluding nested function
+// literals, which are analyzed separately) for index or slice-bound uses of
+// accumulated cursors.
+func reportCursorUses(pass *framework.Pass, stmt ast.Stmt, s cursorSet, owned map[string]map[int]bool, seen map[cursorUse]bool) {
+	if len(s) == 0 {
+		return
+	}
+	info := pass.TypesInfo
+	check := func(e ast.Expr, where string) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, _ := info.Uses[id].(*types.Var)
+			if v == nil || !s[v] {
+				return true
+			}
+			key := cursorUse{v: v, line: pass.Fset.Position(id.Pos()).Line}
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+			if framework.MarkedAt(pass.Fset, owned, id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s uses %s cursor %q accumulated in a loop; the accumulation may wrap before this use — accumulate in int and convert at the narrow boundary (or annotate //fastcc:allow spanarith with a reason)",
+				where, narrowInt(v.Type()), v.Name())
+			return true
+		})
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IndexExpr:
+			if indexable(info, n.X) {
+				check(n.Index, "index")
+			}
+		case *ast.SliceExpr:
+			if indexable(info, n.X) {
+				check(n.Low, "slice bound")
+				check(n.High, "slice bound")
+				check(n.Max, "slice bound")
+			}
+		}
+		return true
+	})
+}
+
+// hasNarrowAccum reports whether the body contains any assignment shape the
+// cursor rule cares about — the gate that keeps the CFG build off the vast
+// majority of functions.
+func hasNarrowAccum(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+		case token.ASSIGN, token.DEFINE:
+			ok := false
+			for i := range as.Lhs {
+				if i < len(as.Rhs) {
+					if _, isBin := ast.Unparen(as.Rhs[i]).(*ast.BinaryExpr); isBin {
+						ok = true
+					}
+				}
+			}
+			if !ok {
+				return true
+			}
+		default:
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if v := boundIdentVar(info, lhs); v != nil && narrowInt(v.Type()) != "" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopResident computes, per CFG node, whether the node lies on a cycle —
+// reachable from one of its own successors. Quadratic in the worst case, but
+// only run on bodies that pass the accumulation gate.
+func loopResident(cfg *framework.CFG) []bool {
+	n := len(cfg.Nodes)
+	out := make([]bool, n)
+	for _, start := range cfg.Nodes {
+		seen := make([]bool, n)
+		stack := make([]*framework.CFGNode, 0, len(start.Succs))
+		for _, e := range start.Succs {
+			stack = append(stack, e.To)
+		}
+		for len(stack) > 0 {
+			nd := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if nd == start {
+				out[start.Index] = true
+				break
+			}
+			if seen[nd.Index] {
+				continue
+			}
+			seen[nd.Index] = true
+			for _, e := range nd.Succs {
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// boundIdentVar resolves a plain identifier to its variable object.
+func boundIdentVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// refsVar reports whether e references v.
+func refsVar(info *types.Info, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // checkBound reports the first +, - or * subexpression of e whose static

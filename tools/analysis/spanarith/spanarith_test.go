@@ -8,5 +8,5 @@ import (
 )
 
 func TestSpanArith(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), spanarith.Analyzer, "a")
+	analysistest.Run(t, analysistest.TestData(), spanarith.Analyzer, "a", "cursor")
 }

@@ -1,0 +1,107 @@
+// Fixture for spanarith's flow-sensitive cursor rule: narrow-int variables
+// accumulated in loops, then used as indexes or slice bounds. The old
+// single-expression rule saw none of these — the use sites carry no
+// arithmetic.
+package cursor
+
+type span struct {
+	off, n int32
+}
+
+type pair struct {
+	idx uint32
+	val float64
+}
+
+// accumulatedIndex is the motivating shape: off wraps during accumulation,
+// so the plain-variable index reads the wrong memory.
+func accumulatedIndex(pairs []pair, spans []span) []pair {
+	var out []pair
+	var off int32
+	for _, sp := range spans {
+		out = append(out, pairs[off]) // want `index uses int32 cursor "off" accumulated in a loop`
+		off += sp.n
+	}
+	return out
+}
+
+// accumulatedSliceBound wraps the same way in a slice bound.
+func accumulatedSliceBound(pairs []pair, spans []span) []pair {
+	var out []pair
+	var off int32
+	for _, sp := range spans {
+		out = append(out, pairs[off:off+sp.n]...) // want `slice bound uses int32 cursor "off" accumulated in a loop` `slice bound arithmetic performed in int32`
+		off += sp.n
+	}
+	return out
+}
+
+// widenedUseStillWrong demonstrates why widening at the use site is not the
+// fix: the wrap already happened inside the loop.
+func widenedUseStillWrong(pairs []pair, spans []span) pair {
+	var off int32
+	for _, sp := range spans {
+		off += sp.n
+	}
+	return pairs[int(off)] // want `index uses int32 cursor "off" accumulated in a loop`
+}
+
+// longFormAccumulation uses off = off + n instead of +=.
+func longFormAccumulation(a []float64, steps []int32) float64 {
+	var off int32
+	var t float64
+	for _, st := range steps {
+		t += a[off] // want `index uses int32 cursor "off" accumulated in a loop`
+		off = off + st
+	}
+	return t
+}
+
+// aliasedCursor follows the accumulated value through a copy.
+func aliasedCursor(a []float64, steps []int32) float64 {
+	var off int32
+	for _, st := range steps {
+		off += st
+	}
+	cur := off
+	return a[cur] // want `index uses int32 cursor "cur" accumulated in a loop`
+}
+
+// wideAccumulation is the fix: accumulate in int, convert at the boundary.
+func wideAccumulation(pairs []pair, spans []span) []pair {
+	var out []pair
+	off := 0
+	for _, sp := range spans {
+		out = append(out, pairs[off])
+		off += int(sp.n)
+	}
+	return out
+}
+
+// resetEachIteration never carries the sum across iterations: clean.
+func resetEachIteration(a []float64, spans []span) float64 {
+	var t float64
+	for _, sp := range spans {
+		off := sp.off
+		t += a[off]
+	}
+	return t
+}
+
+// straightLine accumulates outside any loop: one addition, bounded, clean
+// under the cursor rule (the expression rule governs arithmetic in bounds).
+func straightLine(a []float64, x, y int32) float64 {
+	var off int32
+	off += x
+	off += y
+	return a[off]
+}
+
+// allowedCursor carries an audited suppression at the use site.
+func allowedCursor(a []float64, steps []int32) float64 {
+	var off int32
+	for _, st := range steps {
+		off += st
+	}
+	return a[off] //fastcc:allow spanarith -- steps sum below 2^31 by construction
+}
