@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test test-checked race vet vet-self test-lifecycle fuzz-smoke bench-smoke bench-reuse bench-buildscale ci
+.PHONY: build test test-checked race vet vet-self test-lifecycle fuzz-smoke bench-smoke bench-reuse bench-buildscale serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -85,4 +85,14 @@ bench-buildscale:
 bench-reuse:
 	$(GO) run ./cmd/fastcc-bench -exp reuse -scale-frostt 0.002 -repeats 7 -platform desktop8 > BENCH_reuse.json
 
-ci: build vet vet-self test test-checked race test-lifecycle fuzz-smoke bench-smoke
+# End-to-end daemon gate: build fastcc-serve and fastcc-client, start the
+# daemon on a free port with a deliberately small cache budget and tenant
+# quota, run the scripted upload -> contract -> fetch round-trip (results
+# compared bit-for-bit against a local contraction), then SIGTERM and
+# require exit 0 — the daemon gates that on zero leak-gauge deltas.
+serve-smoke:
+	$(GO) build -o bin/fastcc-serve ./cmd/fastcc-serve
+	$(GO) build -o bin/fastcc-client ./cmd/fastcc-client
+	sh tools/serve_smoke.sh bin
+
+ci: build vet vet-self test test-checked race test-lifecycle fuzz-smoke bench-smoke serve-smoke

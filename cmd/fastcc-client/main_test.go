@@ -1,0 +1,124 @@
+package main
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fastcc"
+	"fastcc/internal/server"
+)
+
+// newBackend serves the real server package over httptest, with the leak
+// check asserted at cleanup — the client CLI is exercised against exactly
+// what fastcc-serve runs.
+func newBackend(t *testing.T) string {
+	t.Helper()
+	srv := server.New(server.Config{Threads: 2})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("backend close: %v", err)
+		}
+	})
+	return hs.URL
+}
+
+func TestClientSelftest(t *testing.T) {
+	url := newBackend(t)
+	var stdout, stderr strings.Builder
+	err := run([]string{"-server", url, "-tenant", "cli-selftest", "selftest", "-threads", "2"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("selftest: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "selftest ok") {
+		t.Fatalf("selftest did not report ok:\n%s", out)
+	}
+	if !strings.Contains(out, "shard_reused=true") {
+		t.Fatalf("warm selftest run did not reuse shards:\n%s", out)
+	}
+}
+
+func TestClientUploadContractFetch(t *testing.T) {
+	url := newBackend(t)
+	dir := t.TempDir()
+
+	// Small exact-arithmetic operands: 2×2 matrices of small integers.
+	l := fastcc.NewTensor([]uint64{2, 2}, 4)
+	l.Append([]uint64{0, 0}, 2)
+	l.Append([]uint64{1, 1}, 3)
+	r := fastcc.NewTensor([]uint64{2, 2}, 4)
+	r.Append([]uint64{0, 1}, 4)
+	r.Append([]uint64{1, 0}, 5)
+	lp := filepath.Join(dir, "l.tns")
+	rp := filepath.Join(dir, "r.tns")
+	if err := fastcc.SaveTNS(lp, l); err != nil {
+		t.Fatal(err)
+	}
+	if err := fastcc.SaveTNS(rp, r); err != nil {
+		t.Fatal(err)
+	}
+
+	upload := func(path string) string {
+		var stdout, stderr strings.Builder
+		if err := run([]string{"-server", url, "-tenant", "cli-files", "upload", path}, &stdout, &stderr); err != nil {
+			t.Fatalf("upload %s: %v\nstderr: %s", path, err, stderr.String())
+		}
+		return strings.TrimSpace(stdout.String())
+	}
+	lh, rh := upload(lp), upload(rp)
+
+	var stdout, stderr strings.Builder
+	err := run([]string{"-server", url, "-tenant", "cli-files",
+		"contract", "-left", lh, "-right", rh, "-expr", "ik,kl->il"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("contract: %v\nstderr: %s", err, stderr.String())
+	}
+	resultID := strings.Fields(stdout.String())[0]
+
+	outPath := filepath.Join(dir, "o.tns")
+	stdout.Reset()
+	err = run([]string{"-server", url, "-tenant", "cli-files",
+		"fetch", "-id", resultID, "-out", outPath}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("fetch: %v\nstderr: %s", err, stderr.String())
+	}
+	got, err := fastcc.LoadTNS(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [[2,0],[0,3]] × [[0,4],[5,0]] = [[0,8],[15,0]].
+	want := fastcc.NewTensor([]uint64{2, 2}, 2)
+	want.Append([]uint64{0, 1}, 8)
+	want.Append([]uint64{1, 0}, 15)
+	if !fastcc.Equal(got, want) {
+		t.Fatal("fetched result is not the expected product")
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-server", url, "-tenant", "cli-files", "stats"}, &stdout, &stderr); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "operands=2") {
+		t.Fatalf("stats output missing registry state:\n%s", stdout.String())
+	}
+}
+
+func TestClientUsageErrors(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if err := run([]string{}, &stdout, &stderr); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"contract"}, &stdout, &stderr); err == nil {
+		t.Fatal("contract without flags accepted")
+	}
+	if err := run([]string{"fetch"}, &stdout, &stderr); err == nil {
+		t.Fatal("fetch without -id accepted")
+	}
+}

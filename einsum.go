@@ -24,6 +24,10 @@ import (
 //   - batch (elementwise) labels appearing in both inputs AND the output
 //     are not supported — this is a contraction engine, not a general
 //     einsum evaluator.
+//
+// Options are forwarded to Contract unchanged — in particular WithContext,
+// the package's single cancellation path, behaves here exactly as it does
+// on every other entry point.
 func Einsum(expr string, l, r *Tensor, opts ...Option) (*Tensor, *Stats, error) {
 	spec, err := ParseEinsum(expr, l.Order(), r.Order())
 	if err != nil {

@@ -25,6 +25,7 @@ package fastcc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -145,6 +146,8 @@ type options struct {
 	rep          core.InputRep
 	ctx          context.Context
 	shardBudget  int64
+	tenant       string
+	tenantSet    bool
 }
 
 // resolveOptions applies the options in order and validates the combination
@@ -185,6 +188,33 @@ func (o *options) validate() error {
 	}
 	if o.accum == model.AccumDense && o.tileL != 0 && o.tileR != 0 && o.tileL*o.tileR > 1<<31 {
 		return fmt.Errorf("%w: WithAccumulator(AccumDense) conflicts with WithTileSize(%d, %d) (dense tile exceeds addressable positions)", ErrBadOption, o.tileL, o.tileR)
+	}
+	if o.tenantSet {
+		if err := validTenant(o.tenant); err != nil {
+			return fmt.Errorf("%w: WithTenant(%q): %v", ErrBadOption, o.tenant, err)
+		}
+	}
+	return nil
+}
+
+// tenantMaxLen bounds tenant IDs so they stay usable as HTTP header values
+// and map keys without pathological memory cost.
+const tenantMaxLen = 128
+
+// validTenant checks the tenant-ID grammar shared by WithTenant,
+// SetTenantQuota and the server: 1–128 bytes of printable ASCII with no
+// spaces, so an ID travels unmangled through headers, logs and URLs.
+func validTenant(id string) error {
+	if id == "" {
+		return errors.New("tenant ID is empty")
+	}
+	if len(id) > tenantMaxLen {
+		return fmt.Errorf("tenant ID exceeds %d bytes", tenantMaxLen)
+	}
+	for i := 0; i < len(id); i++ {
+		if c := id[i]; c <= 0x20 || c >= 0x7f {
+			return fmt.Errorf("tenant ID byte %d (0x%02x) is not printable ASCII", i, c)
+		}
 	}
 	return nil
 }
@@ -231,6 +261,19 @@ func WithContext(ctx context.Context) Option { return func(o *options) { o.ctx =
 // sets a different one.
 func WithShardBudget(bytes int64) Option { return func(o *options) { o.shardBudget = bytes } }
 
+// WithTenant charges every shard this run builds or reuses to the named
+// tenant's cache account: the shard bytes count against the tenant's quota
+// (SetTenantQuota), quota overruns are settled by evicting the tenant's own
+// cold shards when the run finishes, and the global eviction policy prefers
+// over-quota tenants' shards — the fairness mechanism multi-tenant services
+// (fastcc-serve) need so one tenant cannot monopolize the shard cache.
+//
+// Tenant IDs are 1–128 bytes of printable ASCII without spaces; anything
+// else is rejected eagerly with ErrBadOption.
+func WithTenant(id string) Option {
+	return func(o *options) { o.tenant, o.tenantSet = id, true }
+}
+
 // CacheStats is a point-in-time view of the shard cache: hit/miss/eviction
 // counters plus resident and pinned byte gauges. See ShardCacheStats.
 type CacheStats = metrics.CacheSnapshot
@@ -239,6 +282,46 @@ type CacheStats = metrics.CacheSnapshot
 // and resident-state gauges — the observability hook for tuning
 // WithShardBudget.
 func ShardCacheStats() CacheStats { return core.CacheStats() }
+
+// TenantStats is a point-in-time view of one tenant's shard-cache
+// accounting: quota, resident charge, pinned subset and per-tenant
+// hit/miss/eviction counters. See TenantCacheStats.
+type TenantStats = metrics.TenantSnapshot
+
+// SetTenantQuota sets the shard-cache quota for tenant id in bytes and
+// enforces it immediately against the tenant's cold shards; bytes <= 0
+// removes the quota. The quota lives inside the global WithShardBudget
+// budget — it bounds one tenant's slice, it does not grow the whole.
+// Invalid tenant IDs are rejected with ErrBadOption.
+func SetTenantQuota(id string, bytes int64) error {
+	if err := validTenant(id); err != nil {
+		return fmt.Errorf("%w: SetTenantQuota(%q): %v", ErrBadOption, id, err)
+	}
+	core.SetTenantQuota(id, bytes)
+	return nil
+}
+
+// TenantCacheStats reports tenant id's shard-cache accounting; ok is false
+// when no run was ever tagged with the ID and no quota was set.
+func TenantCacheStats(id string) (stats TenantStats, ok bool) {
+	return core.TenantStats(id)
+}
+
+// AllTenantCacheStats reports every known tenant's accounting, sorted by ID.
+func AllTenantCacheStats() []TenantStats { return core.AllTenantStats() }
+
+// DropTenant releases every accounting claim tenant id holds and deletes
+// its account: shards shared with other tenants stay resident, shards only
+// this tenant kept warm are evicted. Call when a tenant disconnects for
+// good; its next tagged run simply re-opens the account. Invalid tenant IDs
+// are rejected with ErrBadOption.
+func DropTenant(id string) error {
+	if err := validTenant(id); err != nil {
+		return fmt.Errorf("%w: DropTenant(%q): %v", ErrBadOption, id, err)
+	}
+	core.DropTenant(id)
+	return nil
+}
 
 // Contract contracts l and r per spec and returns the output tensor (in
 // COO, sorted order unspecified, duplicates absent) together with run

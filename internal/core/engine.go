@@ -57,6 +57,13 @@ type Config struct {
 	// platform LLC (L3Bytes × DefaultBudgetLLCMultiple). Applied — and
 	// enforced — at the start of every run; the last run's setting wins.
 	CacheBudget int64
+	// Tenant, when non-empty, charges every shard this run builds or reuses
+	// to the named tenant's cache account (tenant.go): the shard bytes count
+	// against the tenant's quota, quota overruns are settled by evicting the
+	// tenant's own cold shards when the run's pins drop, and the global
+	// eviction policy prefers over-quota tenants' shards. Empty leaves the
+	// run untenanted (shards unclaimed, global budget only).
+	Tenant string
 	// Context, when non-nil, cancels the run cooperatively: it is checked
 	// between stages and at tile-task boundaries, and the run returns
 	// Context.Err() wrapped.
@@ -165,6 +172,17 @@ func ContractOperands(l, r *Operand, cfg Config) (*mempool.List[Triple], *Stats,
 	// worker has also released its own guard pins.
 	ls, rs, builtL, builtR := buildShards(l, r, ShardKey{Tile: tl, Rep: cfg.Rep}, ShardKey{Tile: tr, Rep: cfg.Rep}, threads, st) //fastcc:allow pinbracket -- on the self-contraction path rs aliases ls and carries a single pin, released by ls's deferred Unpin; the rs != ls guard below is the release for the two-shard path
 	st.ShardReusedL, st.ShardReusedR = !builtL, !builtR
+	if cfg.Tenant != "" {
+		// Charge both shards to the run's tenant while the run pins protect
+		// them, and settle the tenant's quota as the run's LAST deferred step
+		// (registered before the Unpins, so it runs after them): once the
+		// pins drop, the enforcement pass can see this run's own shards.
+		claimShard(ls, cfg.Tenant, builtL)
+		if rs != ls {
+			claimShard(rs, cfg.Tenant, builtR)
+		}
+		defer enforceTenant(cfg.Tenant)
+	}
 	defer ls.Unpin()
 	if rs != ls {
 		defer rs.Unpin()

@@ -137,6 +137,10 @@ type shardCache struct {
 	tail   *Shard
 	n      int64
 
+	// tenants maps tenant ID to its accounting state (tenant.go): quota,
+	// resident charge, and lifecycle counters. Guarded by mu.
+	tenants map[string]*tenantAccount
+
 	counters metrics.CacheCounters
 }
 
@@ -217,6 +221,7 @@ func (c *shardCache) touch(s *Shard) {
 func (c *shardCache) finishRetire(s *Shard, cause *atomic.Int64) {
 	c.mu.Lock()
 	c.removeLocked(s)
+	c.unclaimAllLocked(s)
 	c.mu.Unlock()
 	cause.Add(1)
 	s.owner.unmap(s)
@@ -227,16 +232,31 @@ func (c *shardCache) finishRetire(s *Shard, cause *atomic.Int64) {
 // fits the budget, unlinking them from the list; the caller recycles the
 // returned victims after releasing the lock. Pinned shards are skipped —
 // a fully pinned cache may legitimately sit over budget.
+//
+// Victim order is two passes over the LRU: first the cold shards claimed by
+// an over-quota tenant (so one tenant blowing its quota is squeezed before
+// anyone else's warm set), then plain coldest-first.
 func (c *shardCache) enforceLocked() []*Shard {
 	if c.budget <= 0 || c.bytes <= c.budget {
 		return nil
 	}
 	var victims []*Shard
+	take := func(s *Shard) {
+		c.removeLocked(s)
+		c.unclaimAllLocked(s)
+		victims = append(victims, s)
+	}
+	for s := c.tail; s != nil && c.bytes > c.budget; {
+		prev := s.lruPrev
+		if c.overQuotaClaimLocked(s) && s.tryRetire() {
+			take(s)
+		}
+		s = prev
+	}
 	for s := c.tail; s != nil && c.bytes > c.budget; {
 		prev := s.lruPrev
 		if s.tryRetire() {
-			c.removeLocked(s)
-			victims = append(victims, s)
+			take(s)
 		}
 		s = prev
 	}
@@ -347,4 +367,26 @@ func (o *Operand) Warm(key ShardKey, threads int) bool {
 	s, built := o.Shard(key, threads)
 	s.Unpin()
 	return built
+}
+
+// Resident reports the operand's cache residency: the summed footprint and
+// count of its built, still-live shards. In-flight builds count zero (their
+// footprint is not final), retired-but-unmapped entries are excluded — this
+// is the non-blocking accounting view the prepared API's SizeBytes/Warm
+// surface, not a synchronization point.
+func (o *Operand) Resident() (bytes int64, shards int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, s := range o.shards {
+		if s.state.Load()&shardRetired != 0 {
+			continue
+		}
+		select {
+		case <-s.built:
+			bytes += s.bytes
+			shards++
+		default:
+		}
+	}
+	return bytes, shards
 }

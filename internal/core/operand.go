@@ -73,6 +73,7 @@ type Shard struct {
 	state            atomic.Uint64
 	lruPrev, lruNext *Shard
 	inLRU            bool
+	claims           []string // tenant IDs charged for this shard (tenant.go), guarded by shardLRU.mu
 
 	ck checkedShard // generation stamp; zero-sized unless built with fastcc_checked
 }

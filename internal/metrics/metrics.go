@@ -120,6 +120,37 @@ func (s CacheSnapshot) String() string {
 		s.Hits, s.Misses, s.Evictions, s.EvictedBytes, s.Drops, s.CachedBytes, s.PinnedBytes, s.Shards)
 }
 
+// TenantSnapshot is a point-in-time view of one tenant's shard-cache
+// accounting: the quota it is held to, the resident bytes currently charged
+// to it (every shard a tenant's contractions built or reused is charged to
+// that tenant in full — a shard shared by several tenants appears in each of
+// their snapshots), and the lifecycle counters of its runs. The core cache
+// that owns the accounts fills these in under its own lock, so one snapshot
+// is internally consistent.
+type TenantSnapshot struct {
+	// ID is the tenant identifier the runs were tagged with.
+	ID string
+	// QuotaBytes is the per-tenant shard-cache quota (0 = no quota).
+	QuotaBytes int64
+	// Bytes is the resident footprint of every live shard claimed by this
+	// tenant; PinnedBytes the subset currently pinned by in-flight
+	// contractions; Shards the claimed shard count.
+	Bytes, PinnedBytes, Shards int64
+	// Hits and Misses count this tenant's shard fetches served from the
+	// cache versus built.
+	Hits, Misses int64
+	// Evictions counts shards retired specifically to bring this tenant
+	// back under its quota; EvictedBytes is their cumulative footprint.
+	// Budget-driven global evictions count in CacheSnapshot, not here.
+	Evictions, EvictedBytes int64
+}
+
+// String renders the tenant snapshot compactly for logs.
+func (s TenantSnapshot) String() string {
+	return fmt.Sprintf("tenant=%s quota=%d bytes=%d pinned=%d shards=%d hits=%d misses=%d evictions=%d evicted_bytes=%d",
+		s.ID, s.QuotaBytes, s.Bytes, s.PinnedBytes, s.Shards, s.Hits, s.Misses, s.Evictions, s.EvictedBytes)
+}
+
 // Snapshot is a plain-value copy of the counters.
 type Snapshot struct {
 	Queries        int64

@@ -1,0 +1,128 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Admission errors, surfaced to callers (and mapped onto HTTP status codes
+// by the server layer).
+var (
+	// ErrQueueFull reports that both the in-flight slots and the waiting
+	// queue are at capacity — the request is rejected immediately rather
+	// than queued behind an unbounded backlog.
+	ErrQueueFull = errors.New("scheduler: admission queue full")
+
+	// ErrAdmissionClosed reports that the admission controller has been
+	// closed; no further requests are accepted.
+	ErrAdmissionClosed = errors.New("scheduler: admission closed")
+)
+
+// Admission bounds how many contraction requests run concurrently and how
+// many may wait behind them. It is the server-side complement of Pool's
+// ticket counter: Pool spreads one contraction's tile tasks across worker
+// threads, Admission decides how many whole contractions are allowed to
+// reach Pool at once, so a burst of clients degrades into orderly queueing
+// (with context-deadline eviction) instead of oversubscribing the CPU.
+//
+// The zero value is not usable; call NewAdmission.
+type Admission struct {
+	slots  chan struct{} // buffered; one token per in-flight request
+	queued atomic.Int64  // requests blocked in Acquire
+	limit  int64         // max queued before fast-fail
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{} // closed by Close; wakes all waiters
+}
+
+// NewAdmission creates a controller admitting at most inflight concurrent
+// requests with at most queue further requests waiting. inflight < 1 is
+// normalized to 1; queue < 0 to 0 (reject immediately when saturated).
+func NewAdmission(inflight, queue int) *Admission {
+	if inflight < 1 {
+		inflight = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Admission{
+		slots: make(chan struct{}, inflight),
+		limit: int64(queue),
+		done:  make(chan struct{}),
+	}
+}
+
+// Acquire blocks until an in-flight slot is free, the context is done, or
+// the controller closes. On success it returns a release function that must
+// be called exactly once when the request finishes (extra calls are no-ops).
+// If the waiting queue is already at capacity, Acquire fails fast with
+// ErrQueueFull instead of blocking.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot right now skips the queue accounting entirely.
+	select {
+	case <-a.done:
+		return nil, ErrAdmissionClosed
+	default:
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseFunc(), nil
+	default:
+	}
+
+	// Saturated: join the bounded queue or fail fast.
+	if a.queued.Add(1) > a.limit {
+		a.queued.Add(-1)
+		return nil, ErrQueueFull
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseFunc(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-a.done:
+		return nil, ErrAdmissionClosed
+	}
+}
+
+// releaseFunc returns a one-shot token release. sync.Once keeps a double
+// call (easy to write with defers on error paths) from corrupting the
+// semaphore.
+func (a *Admission) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() { <-a.slots })
+	}
+}
+
+// InFlight reports how many admitted requests have not yet released.
+func (a *Admission) InFlight() int { return len(a.slots) }
+
+// Queued reports how many requests are currently blocked in Acquire.
+func (a *Admission) Queued() int { return int(a.queued.Load()) }
+
+// Close rejects all future Acquires and wakes every queued waiter with
+// ErrAdmissionClosed. Requests already admitted keep their slots; their
+// release functions remain valid. Close is idempotent.
+func (a *Admission) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.closed {
+		a.closed = true
+		close(a.done)
+	}
+}
+
+// Drain closes the controller and then blocks until every admitted request
+// has released its slot, i.e. the server is quiescent.
+func (a *Admission) Drain() {
+	a.Close()
+	for i := 0; i < cap(a.slots); i++ {
+		a.slots <- struct{}{}
+	}
+	// Leave the semaphore full so any stray release just frees a token.
+}

@@ -1,0 +1,255 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionBoundsInFlight(t *testing.T) {
+	a := NewAdmission(2, 4)
+	defer a.Drain()
+
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+
+	// Third request must queue, not run.
+	admitted := make(chan struct{})
+	go func() {
+		r3, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			close(admitted)
+			return
+		}
+		close(admitted)
+		r3()
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("third request admitted beyond the in-flight bound")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got := a.Queued(); got != 1 {
+		t.Fatalf("Queued = %d, want 1", got)
+	}
+
+	r1() // frees a slot; the queued request proceeds
+	select {
+	case <-admitted:
+	case <-time.After(time.Second):
+		t.Fatal("queued request not admitted after a release")
+	}
+	r2()
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := NewAdmission(1, 1)
+	defer a.Drain()
+
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+
+	// One waiter fills the queue.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	waiting := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(waiting)
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		if r, err := a.Acquire(ctx); err == nil {
+			r()
+		}
+	}()
+	<-waiting
+	for a.Queued() != 1 { // wait until the goroutine is inside Acquire
+		time.Sleep(time.Millisecond)
+	}
+
+	// The next arrival is rejected immediately, not blocked.
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Acquire over queue capacity: err = %v, want ErrQueueFull", err)
+	}
+	wg.Wait()
+}
+
+func TestAdmissionContextCancellation(t *testing.T) {
+	a := NewAdmission(1, 8)
+	defer a.Drain()
+
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		errs <- err
+	}()
+	for a.Queued() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled waiter: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+	if got := a.Queued(); got != 0 {
+		t.Fatalf("Queued = %d after cancellation, want 0", got)
+	}
+
+	// A deadline behaves the same way, reporting DeadlineExceeded.
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer dcancel()
+	if _, err := a.Acquire(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline waiter: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestAdmissionCloseWakesWaiters(t *testing.T) {
+	a := NewAdmission(1, 8)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 4
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := a.Acquire(context.Background())
+			errs <- err
+		}()
+	}
+	for a.Queued() != waiters {
+		time.Sleep(time.Millisecond)
+	}
+	a.Close()
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrAdmissionClosed) {
+				t.Fatalf("waiter woken by Close: err = %v, want ErrAdmissionClosed", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("waiter not woken by Close")
+		}
+	}
+
+	// After Close, new arrivals are rejected; the admitted request's release
+	// stays valid and Drain waits for it.
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrAdmissionClosed) {
+		t.Fatalf("Acquire after Close: err = %v, want ErrAdmissionClosed", err)
+	}
+	drained := make(chan struct{})
+	go func() {
+		a.Drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a request was still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r1()
+	select {
+	case <-drained:
+	case <-time.After(time.Second):
+		t.Fatal("Drain did not return after the last release")
+	}
+	a.Close() // idempotent
+}
+
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := NewAdmission(1, 0)
+	defer a.Drain()
+
+	r, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+	r() // second call must not free a phantom slot
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d after double release + reacquire, want 1", got)
+	}
+	r2()
+}
+
+func TestAdmissionConcurrentStress(t *testing.T) {
+	const inflight, queue = 4, 16
+	a := NewAdmission(inflight, queue)
+	defer a.Drain()
+
+	var peak, cur, admitted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 128; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			r, err := a.Acquire(ctx)
+			if err != nil {
+				if !errors.Is(err, ErrQueueFull) && !errors.Is(err, context.DeadlineExceeded) {
+					t.Errorf("unexpected admission error: %v", err)
+				}
+				rejected.Add(1)
+				return
+			}
+			defer r()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			admitted.Add(1)
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > inflight {
+		t.Fatalf("observed %d concurrent admissions, bound is %d", peak.Load(), inflight)
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("no request was admitted")
+	}
+	t.Logf("admitted=%d rejected=%d peak=%d", admitted.Load(), rejected.Load(), peak.Load())
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after all releases, want 0", got)
+	}
+	if got := a.Queued(); got != 0 {
+		t.Fatalf("Queued = %d after quiescence, want 0", got)
+	}
+}

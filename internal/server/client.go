@@ -1,0 +1,145 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"fastcc"
+)
+
+// Client is the Go-side counterpart of the HTTP surface: upload operands,
+// run contractions by content hash, fetch results. One Client speaks for
+// one tenant; it is safe for concurrent use.
+type Client struct {
+	base   string // server base URL, no trailing slash
+	tenant string
+	hc     *http.Client
+}
+
+// NewClient creates a client for the server at base (e.g.
+// "http://127.0.0.1:8080") acting as the given tenant. httpClient may be
+// nil for http.DefaultClient.
+func NewClient(base, tenant string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, tenant: tenant, hc: httpClient}
+}
+
+// APIError is a non-2xx response decoded from the server's error envelope.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// do sends a request with the tenant header and decodes error envelopes.
+// On success the caller owns the returned body and must close it.
+func (c *Client) do(ctx context.Context, method, path string, contentType string, body io.Reader) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(TenantHeader, c.tenant)
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp.Body, nil
+	}
+	defer resp.Body.Close()
+	var env errorBody
+	if jerr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&env); jerr != nil || env.Error.Code == "" {
+		return nil, &APIError{Status: resp.StatusCode, Code: "unknown", Message: resp.Status}
+	}
+	return nil, &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+}
+
+func (c *Client) doJSON(ctx context.Context, method, path string, body io.Reader, out any) error {
+	rc, err := c.do(ctx, method, path, "application/json", body)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	if out == nil {
+		_, err := io.Copy(io.Discard, rc)
+		return err
+	}
+	return json.NewDecoder(rc).Decode(out)
+}
+
+// Upload registers t with the server and returns its content hash.
+func (c *Client) Upload(ctx context.Context, t *fastcc.Tensor) (string, error) {
+	var buf bytes.Buffer
+	if err := fastcc.WriteBTNS(&buf, t); err != nil {
+		return "", err
+	}
+	rc, err := c.do(ctx, http.MethodPost, "/v1/operands", "application/octet-stream", &buf)
+	if err != nil {
+		return "", err
+	}
+	defer rc.Close()
+	var resp UploadResponse
+	if err := json.NewDecoder(rc).Decode(&resp); err != nil {
+		return "", err
+	}
+	return resp.Hash, nil
+}
+
+// Contract runs the contraction described by req on the server and returns
+// the acknowledgement; fetch the output with Fetch(resp.ResultID).
+func (c *Client) Contract(ctx context.Context, req *ContractRequest) (*ContractResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp ContractResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/contract", bytes.NewReader(body), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Fetch downloads a contraction result as a tensor.
+func (c *Client) Fetch(ctx context.Context, resultID string) (*fastcc.Tensor, error) {
+	rc, err := c.do(ctx, http.MethodGet, "/v1/results/"+resultID, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return fastcc.ReadBTNS(rc)
+}
+
+// Release drops this tenant's reference on an uploaded operand.
+func (c *Client) Release(ctx context.Context, hash string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/operands/"+hash, nil, nil)
+}
+
+// DeleteResult removes a stored result.
+func (c *Client) DeleteResult(ctx context.Context, resultID string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/results/"+resultID, nil, nil)
+}
+
+// Stats fetches the server's observability snapshot.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -32,7 +32,18 @@ import (
 // tensor appearing in several operand slots (e.g. the same factor repeated
 // in a network) is linearized and sharded once, and later steps report
 // shard reuse in their Stats.
+//
+// Options follow the single-contraction entry points uniformly: they are
+// validated eagerly (ErrBadOption before any work runs) and forwarded to
+// every pairwise step. In particular WithContext — the package's one
+// cancellation path — is observed both inside each step (between pipeline
+// stages and at tile-task boundaries) and between steps, so canceling the
+// context abandons the remaining network promptly with ctx.Err() wrapped.
 func EinsumN(expr string, tensors []*Tensor, opts ...Option) (*Tensor, *Plan, error) {
+	o, err := resolveOptions(opts)
+	if err != nil {
+		return nil, nil, err
+	}
 	lhs, rhs, ok := strings.Cut(expr, "->")
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q has no \"->\"", ErrBadExpr, expr)
@@ -99,6 +110,11 @@ func EinsumN(expr string, tensors []*Tensor, opts ...Option) (*Tensor, *Plan, er
 
 	plan := &Plan{Expr: expr}
 	for len(ops) > 1 {
+		if o.ctx != nil {
+			if err := o.ctx.Err(); err != nil {
+				return nil, nil, fmt.Errorf("fastcc: network evaluation canceled: %w", err)
+			}
+		}
 		ai, bi, spec, err := pickPair(ops, outLabels)
 		if err != nil {
 			return nil, nil, err
@@ -185,6 +201,48 @@ func (p *Plan) String() string {
 		parts[i] = fmt.Sprintf("(%s×%s→%s)", s.Left, s.Right, s.Result)
 	}
 	return strings.Join(parts, "; ")
+}
+
+// TotalStats aggregates the per-step Stats into one network-level figure:
+// phase timings, task/block counts and data-access counters are summed
+// across steps (each step snapshots its own counters, so the sum double
+// counts nothing), WorkspaceWords takes the per-step maximum, OutputNNZ is
+// the final step's, and Threads the widest step's. The reuse flags report
+// whether EVERY step was served from the shard cache — the steady-state a
+// server reaches when the same network is evaluated repeatedly. Per-step
+// decisions and tile geometry stay in Steps; they have no meaningful sum.
+// A plan with no steps (single-operand expression) aggregates to zeros.
+func (p *Plan) TotalStats() *Stats {
+	agg := &Stats{ShardReused: len(p.Steps) > 0, ShardReusedL: len(p.Steps) > 0, ShardReusedR: len(p.Steps) > 0}
+	for _, step := range p.Steps {
+		s := step.Stats
+		if s == nil {
+			continue
+		}
+		agg.Linearize += s.Linearize
+		agg.Build += s.Build
+		agg.Contract += s.Contract
+		agg.Concat += s.Concat
+		agg.Delinearize += s.Delinearize
+		agg.Total += s.Total
+		agg.Tasks += s.Tasks
+		agg.Blocks += s.Blocks
+		if s.Threads > agg.Threads {
+			agg.Threads = s.Threads
+		}
+		agg.OutputNNZ = s.OutputNNZ
+		agg.ShardReusedL = agg.ShardReusedL && s.ShardReusedL
+		agg.ShardReusedR = agg.ShardReusedR && s.ShardReusedR
+		agg.ShardReused = agg.ShardReused && s.ShardReused
+		agg.Counters.Queries += s.Counters.Queries
+		agg.Counters.Volume += s.Counters.Volume
+		agg.Counters.Updates += s.Counters.Updates
+		agg.Counters.Output += s.Counters.Output
+		if s.Counters.WorkspaceWords > agg.Counters.WorkspaceWords {
+			agg.Counters.WorkspaceWords = s.Counters.WorkspaceWords
+		}
+	}
+	return agg
 }
 
 type netOperand struct {

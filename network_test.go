@@ -1,9 +1,12 @@
 package fastcc
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"fastcc/internal/ref"
 )
@@ -153,5 +156,77 @@ func TestPlanString(t *testing.T) {
 	p := &Plan{Steps: []PlanStep{{Left: "ik", Right: "kl", Result: "il"}}}
 	if !strings.Contains(p.String(), "ik×kl→il") {
 		t.Fatalf("plan string %q", p.String())
+	}
+}
+
+func TestEinsumNContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	t1 := randomTensor(rng, []uint64{5, 6}, 15)
+	t2 := randomTensor(rng, []uint64{6, 7}, 18)
+	t3 := randomTensor(rng, []uint64{7, 4}, 12)
+	ts := []*Tensor{t1, t2, t3}
+
+	// An already-canceled context must abandon the evaluation before (or
+	// inside) the first step, with the context error visible via errors.Is
+	// — the same single cancellation path every entry point shares.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := EinsumN("ik,kl,lm->im", ts, WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("EinsumN with canceled context: err = %v, want context.Canceled", err)
+	}
+
+	// Options are validated eagerly, before any parsing or contraction.
+	_, _, err = EinsumN("ik,kl,lm->im", ts, WithThreads(-1))
+	if !errors.Is(err, ErrBadOption) {
+		t.Fatalf("EinsumN eager validation: err = %v, want ErrBadOption", err)
+	}
+}
+
+func TestPlanTotalStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	t1 := randomTensor(rng, []uint64{8, 9}, 30)
+	t2 := randomTensor(rng, []uint64{9, 7}, 28)
+	t3 := randomTensor(rng, []uint64{7, 6}, 20)
+
+	_, plan, err := EinsumN("ik,kl,lm->im", []*Tensor{t1, t2, t3}, WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 2 {
+		t.Fatalf("plan has %d steps, want 2", len(plan.Steps))
+	}
+	agg := plan.TotalStats()
+
+	var total, contract int64
+	var tasks, updates int64
+	for _, s := range plan.Steps {
+		if s.Stats == nil {
+			t.Fatal("step carries no Stats")
+		}
+		total += int64(s.Stats.Total)
+		contract += int64(s.Stats.Contract)
+		tasks += int64(s.Stats.Tasks)
+		updates += s.Stats.Counters.Updates
+	}
+	if int64(agg.Total) != total || int64(agg.Contract) != contract {
+		t.Fatalf("TotalStats timings total=%v contract=%v, want sums %v / %v",
+			agg.Total, agg.Contract, time.Duration(total), time.Duration(contract))
+	}
+	if int64(agg.Tasks) != tasks {
+		t.Fatalf("TotalStats.Tasks = %d, want %d", agg.Tasks, tasks)
+	}
+	if agg.Counters.Updates != updates {
+		t.Fatalf("TotalStats.Counters.Updates = %d, want %d", agg.Counters.Updates, updates)
+	}
+	if agg.OutputNNZ != plan.Steps[len(plan.Steps)-1].Stats.OutputNNZ {
+		t.Fatalf("TotalStats.OutputNNZ = %d, want final step's %d",
+			agg.OutputNNZ, plan.Steps[len(plan.Steps)-1].Stats.OutputNNZ)
+	}
+
+	// An empty plan aggregates to zeros without reporting phantom reuse.
+	empty := (&Plan{}).TotalStats()
+	if empty.Total != 0 || empty.ShardReused {
+		t.Fatalf("empty plan TotalStats = %+v, want zeros", empty)
 	}
 }

@@ -78,6 +78,34 @@ func Preshard(t *Tensor, modes []int, opts ...Option) (*Sharded, error) {
 // mercy. Safe to call concurrently with contractions and repeatedly.
 func (s *Sharded) Drop() { s.op.Close() }
 
+// Close is Drop under the standard io.Closer spelling, so a *Sharded slots
+// into registries and defer chains that manage Closers uniformly. It never
+// fails (the error is always nil) and, like Drop, leaves the Sharded usable:
+// a later contraction rebuilds what it needs.
+func (s *Sharded) Close() error {
+	s.Drop()
+	return nil
+}
+
+// SizeBytes reports the resident footprint of the tile shards currently
+// cached inside this Sharded — the bytes the shard-cache budget (and, for
+// tenanted runs, the owning tenants' quotas) are charged for it right now.
+// Zero means nothing is resident: never built, evicted, or dropped. The
+// figure excludes the wrapped tensor itself and any build still in flight.
+func (s *Sharded) SizeBytes() int64 {
+	b, _ := s.op.Resident()
+	return b
+}
+
+// Warm reports whether at least one built tile shard is resident, i.e.
+// whether the next compatible contraction can skip the Build phase
+// entirely (Stats.Build == 0 on a full hit). Like SizeBytes it is a
+// non-blocking accounting view — an in-flight build counts as cold.
+func (s *Sharded) Warm() bool {
+	_, n := s.op.Resident()
+	return n > 0
+}
+
 // preshardValidated wraps an already-validated tensor: linearize (the
 // paper's pre-processing step) and set up the shard cache.
 func preshardValidated(t *Tensor, modes []int) (*Sharded, error) {
@@ -106,6 +134,11 @@ func (s *Sharded) Modes() []int { return append([]int(nil), s.modes...) }
 // the same *Sharded twice for a self-contraction — reuses its cached tile
 // shard when the run's tile grid matches, reporting Stats.Build == 0 and
 // the ShardReused flags on a full hit.
+//
+// Options behave exactly as on Contract — WithContext cancels cooperatively
+// between pipeline stages and at tile-task boundaries, WithTenant charges
+// the run's shards to a tenant account — so prepared and one-shot paths are
+// interchangeable call-site by call-site.
 func ContractPrepared(l, r *Sharded, opts ...Option) (*Tensor, *Stats, error) {
 	o, err := resolveOptions(opts)
 	if err != nil {
@@ -118,9 +151,15 @@ func ContractPrepared(l, r *Sharded, opts ...Option) (*Tensor, *Stats, error) {
 	return contractSharded(l, r, &o, 0)
 }
 
-// ContractContext is Contract with cooperative cancellation: ctx is checked
-// between pipeline stages and at tile-task boundaries, and a canceled run
-// returns ctx.Err() wrapped (errors.Is(err, context.Canceled) holds).
+// ContractContext is a convenience wrapper for Contract(l, r, spec,
+// append(opts, WithContext(ctx))...) — nothing more. WithContext is the one
+// cancellation path through the package: every entry point (Contract,
+// SelfContract, ContractPrepared, Einsum, EinsumN) accepts it uniformly,
+// checks the context between pipeline stages and at tile-task boundaries,
+// and returns ctx.Err() wrapped (errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) hold). The ctx argument is
+// appended last, so under the package's last-option-wins convention it
+// takes precedence over any WithContext already in opts.
 func ContractContext(ctx context.Context, l, r *Tensor, spec Spec, opts ...Option) (*Tensor, *Stats, error) {
 	withCtx := make([]Option, 0, len(opts)+1)
 	withCtx = append(withCtx, opts...)
@@ -154,6 +193,7 @@ func contractSharded(l, r *Sharded, o *options, linearize time.Duration) (*Tenso
 		Rep:         o.rep,
 		Context:     o.ctx,
 		CacheBudget: o.shardBudget,
+		Tenant:      o.tenant,
 	})
 	if err != nil {
 		return nil, nil, err

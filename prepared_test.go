@@ -331,3 +331,61 @@ func TestPreparedDropLeavesNothingOutstanding(t *testing.T) {
 	rs.Drop()
 	base.Assert(t)
 }
+
+func TestShardedLifecycleSurface(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	l := randomTensor(rng, []uint64{30, 25}, 300)
+	r := randomTensor(rng, []uint64{25, 20}, 280)
+
+	lsh, err := Preshard(l, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lsh.Drop()
+	rsh, err := Preshard(r, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsh.Drop()
+
+	// Freshly prepared operands hold no built shards: the heavy build is
+	// lazy, so the accounting view reports cold and zero-sized.
+	if lsh.Warm() {
+		t.Fatal("Warm() = true before any contraction")
+	}
+	if got := lsh.SizeBytes(); got != 0 {
+		t.Fatalf("SizeBytes() = %d before any contraction, want 0", got)
+	}
+
+	if _, _, err := ContractPrepared(lsh, rsh); err != nil {
+		t.Fatal(err)
+	}
+	if !lsh.Warm() {
+		t.Fatal("Warm() = false after a contraction built and cached shards")
+	}
+	if got := lsh.SizeBytes(); got <= 0 {
+		t.Fatalf("SizeBytes() = %d after a contraction, want > 0", got)
+	}
+
+	// Close is Drop under the io.Closer spelling: never fails, releases the
+	// resident shards, and leaves the operand usable.
+	var c interface{ Close() error } = lsh
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close() = %v, want nil", err)
+	}
+	if lsh.Warm() {
+		t.Fatal("Warm() = true after Close")
+	}
+	if got := lsh.SizeBytes(); got != 0 {
+		t.Fatalf("SizeBytes() = %d after Close, want 0", got)
+	}
+	if _, _, err := ContractPrepared(lsh, rsh); err != nil {
+		t.Fatalf("contraction after Close: %v", err)
+	}
+	if !lsh.Warm() {
+		t.Fatal("operand did not rewarm after Close")
+	}
+	if err := lsh.Close(); err != nil {
+		t.Fatalf("second Close() = %v, want nil", err)
+	}
+}

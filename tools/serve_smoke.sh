@@ -1,0 +1,70 @@
+#!/bin/sh
+# serve-smoke: start the fastcc-serve daemon on a free port, run the
+# scripted client round-trip (upload -> contract -> fetch -> compare against
+# a local contraction), then shut the daemon down with SIGTERM and require a
+# clean exit — which the daemon only reports when its shard-cache and
+# output-chunk leak gauges returned to their startup baseline.
+#
+# Usage: tools/serve_smoke.sh [bin-dir]   (default bin/)
+set -eu
+
+BIN=${1:-bin}
+WORK=$(mktemp -d)
+ADDR_FILE="$WORK/addr"
+SERVE_LOG="$WORK/serve.log"
+
+cleanup() {
+    [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+"$BIN/fastcc-serve" \
+    -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" \
+    -threads 2 -inflight 2 -queue 16 \
+    -cache-budget 1048576 -tenant-quota 262144 \
+    >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+
+# Wait for the daemon to publish its bound address.
+i=0
+while [ ! -s "$ADDR_FILE" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: daemon never wrote $ADDR_FILE" >&2
+        cat "$SERVE_LOG" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "serve-smoke: daemon exited early" >&2
+        cat "$SERVE_LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$ADDR_FILE")
+echo "serve-smoke: daemon on $ADDR"
+
+# Scripted round-trip: the selftest uploads two random tensors, contracts
+# them remotely twice (cold + warm), and compares each download
+# bit-for-bit against a local contraction.
+"$BIN/fastcc-client" -server "http://$ADDR" -tenant smoke-tenant \
+    selftest -threads 2
+
+"$BIN/fastcc-client" -server "http://$ADDR" -tenant smoke-tenant stats
+
+# Clean shutdown: SIGTERM must produce exit 0, which the daemon gates on
+# zero leak-gauge deltas after dropping all server state.
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+    echo "serve-smoke: daemon exited nonzero after SIGTERM" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
+SERVE_PID=""
+grep -q "clean shutdown" "$SERVE_LOG" || {
+    echo "serve-smoke: daemon log missing clean-shutdown line" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+}
+echo "serve-smoke: ok (clean shutdown, leak gauges at baseline)"
