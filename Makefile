@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test test-checked race vet vet-self test-lifecycle fuzz-smoke bench-smoke bench-reuse bench-buildscale serve-smoke ci
+.PHONY: build test test-checked race vet vet-self test-lifecycle fuzz-smoke bench-smoke bench-reuse bench-buildscale bench-hotpath bench-hotpath-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,22 @@ bench-buildscale:
 bench-reuse:
 	$(GO) run ./cmd/fastcc-bench -exp reuse -scale-frostt 0.002 -repeats 7 -platform desktop8 > BENCH_reuse.json
 
+# Regenerate the checked-in BENCH_hotpath.json: contract-phase time of each
+# specialized tile microkernel against the generic co-iteration loop on the
+# QC suite (the accumulate-bound regime the kernels target). Repeats are
+# paired and interleaved with the minimum reported; the experiment fails if
+# any kernel output is not bit-identical to the generic loop's. Add
+# `-pprof-dir <dir>` to the command to capture per-combo CPU profiles.
+bench-hotpath:
+	$(GO) run ./cmd/fastcc-bench -exp hotpath -suite qc -scale-qc 0.2 -repeats 5 > BENCH_hotpath.json
+
+# Tiny-scale microkernel smoke: one pass of all four (rep, accum) kernels —
+# RunHotpath errors out on any bit-level divergence from the generic loop —
+# plus the schema check over the checked-in BENCH_hotpath.json.
+bench-hotpath-smoke:
+	$(GO) run ./cmd/fastcc-bench -exp hotpath -suite qc -scale-qc 0.02 -repeats 1 -threads 2 -platform desktop8 > /dev/null
+	$(GO) test ./internal/experiments -run 'TestRunHotpathEmitsValidJSON|TestBenchHotpathArtifact'
+
 # End-to-end daemon gate: build fastcc-serve and fastcc-client, start the
 # daemon on a free port with a deliberately small cache budget and tenant
 # quota, run the scripted upload -> contract -> fetch round-trip (results
@@ -95,4 +111,4 @@ serve-smoke:
 	$(GO) build -o bin/fastcc-client ./cmd/fastcc-client
 	sh tools/serve_smoke.sh bin
 
-ci: build vet vet-self test test-checked race test-lifecycle fuzz-smoke bench-smoke serve-smoke
+ci: build vet vet-self test test-checked race test-lifecycle fuzz-smoke bench-smoke bench-hotpath-smoke serve-smoke

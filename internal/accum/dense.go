@@ -1,6 +1,10 @@
 package accum
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"fastcc/internal/hashtable"
+)
 
 // Dense is the dense tile accumulator of paper Section 4.2. A tile of
 // TL × TR positions is stored as:
@@ -56,6 +60,47 @@ func (d *Dense) Upsert(l, r uint32, v float64) {
 		d.apos = append(d.apos, p) //fastcc:allow hotalloc -- amortized: apos tops out at tile nnz and is reused across tasks
 	}
 	d.vals[p] += v
+}
+
+// Match is one co-iteration match: the left and right pair runs that share
+// a contraction key, contracted as the outer product L × R. Kernels batch
+// matches and scatter a whole batch per call, so the call boundary and the
+// accumulator field reloads amortize over the batch instead of recurring
+// per matched key.
+type Match struct {
+	L, R []hashtable.Pair
+}
+
+// ScatterMatches accumulates every match's outer product into the tile:
+// vals[l<<logTR|r] += lv·rv for each pair combination, matches in slice
+// order and each match in L-major order — the identical accumulation order
+// to the equivalent Upsert loop, so results are bit-for-bit the same. This
+// is the dense microkernel's inner loop: against per-update Upsert calls it
+// hoists the tile's field loads out of the whole batch, keeps the row base
+// l<<logTR in a register across each inner sweep, and exposes the
+// flat-index scatter to the compiler without a call boundary per
+// multiply-accumulate.
+//
+//fastcc:hotpath
+func (d *Dense) ScatterMatches(ms []Match) {
+	vals, bm, logTR := d.vals, d.bm, d.logTR
+	apos := d.apos
+	for _, m := range ms {
+		for _, lp := range m.L {
+			lv := lp.Val
+			row := lp.Idx << logTR
+			for _, rp := range m.R {
+				p := row | rp.Idx
+				w, b := p>>6, uint64(1)<<(p&63)
+				if bm[w]&b == 0 {
+					bm[w] |= b
+					apos = append(apos, p) //fastcc:allow hotalloc -- amortized: apos tops out at tile nnz and is reused across tasks
+				}
+				vals[p] += lv * rp.Val
+			}
+		}
+	}
+	d.apos = apos
 }
 
 // Len returns the number of active positions.

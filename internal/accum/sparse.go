@@ -24,6 +24,28 @@ func (s *Sparse) Upsert(l, r uint32, v float64) {
 	s.t.Upsert(packLR(l, r), v)
 }
 
+// ScatterMatches accumulates every match's outer product into the table,
+// matches in slice order and each match in L-major order — the sparse
+// microkernel's inner loop. The key merge stays amortized in the backing
+// FloatTable (linear probing, grow at 85% load); what the specialization
+// removes is the interface/method hops per multiply-accumulate, with the
+// packed-key construction inline and the call boundary amortized over the
+// whole match batch.
+//
+//fastcc:hotpath
+func (s *Sparse) ScatterMatches(ms []Match) {
+	t := s.t
+	for _, m := range ms {
+		for _, lp := range m.L {
+			lv := lp.Val
+			hi := uint64(lp.Idx) << 32
+			for _, rp := range m.R {
+				t.Upsert(hi|uint64(rp.Idx), lv*rp.Val)
+			}
+		}
+	}
+}
+
 // Len returns the number of distinct touched positions.
 func (s *Sparse) Len() int { return s.t.Len() }
 

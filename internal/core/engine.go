@@ -52,6 +52,11 @@ type Config struct {
 	// Rep selects the input-tile representation: the paper's hash tables
 	// (default) or the sorted-array ablation.
 	Rep InputRep
+	// Kernel forces the tile microkernel; KernelAuto derives the
+	// specialization from (Rep, accumulator kind). KernelGeneric is always
+	// accepted (the pre-specialization loop, kept for baseline comparison);
+	// a specialized id must match the run's rep/accumulator or plan fails.
+	Kernel model.KernelID
 	// CacheBudget bounds the process-wide shard cache in bytes: > 0 is an
 	// explicit budget, < 0 disables eviction, 0 derives the default from the
 	// platform LLC (L3Bytes × DefaultBudgetLLCMultiple). Applied — and
@@ -241,6 +246,9 @@ func plan(l, r *coo.Matrix, cfg Config) (model.Decision, error) {
 			return model.Decision{}, fmt.Errorf("core: dense tile %dx%d exceeds addressable positions", tl, tr)
 		}
 	}
+	if err := resolveKernel(&dec, cfg); err != nil {
+		return model.Decision{}, err
+	}
 	return dec, nil
 }
 
@@ -311,6 +319,11 @@ func execute(ls, rs *Shard, dec model.Decision, threads int, cfg Config, st *Sta
 		blocksTotal = (nL + bl - 1) / bl * nbR
 	}
 	st.BlockL, st.BlockR, st.Blocks = bl, br, blocksTotal
+	// Kernel dispatch is resolved HERE, once per run: every tile task below
+	// calls the same direct function value out of kernelTable. The platform's
+	// probe depth (hash kernels' batch width) is likewise hoisted.
+	kern := selectKernel(dec.Kernel)
+	probeBatch := cfg.Platform.ProbeBatch()
 	ctx := cfg.ctx()
 	// Per-worker shard pins: each pool worker pins both shards before its
 	// first claim and releases on exit (deferred inside the scheduler, so
@@ -346,6 +359,7 @@ func execute(ls, rs *Shard, dec model.Decision, threads int, cfg Config, st *Sta
 		if jEnd > nR {
 			jEnd = nR
 		}
+		var tasksDone int64
 		for ii := bi * bl; ii < iEnd; ii++ {
 			i := nonEmptyL[ii]
 			baseL := uint64(i) * tl
@@ -354,16 +368,15 @@ func execute(ls, rs *Shard, dec model.Decision, threads int, cfg Config, st *Sta
 				// inside a block, matching the batched claim's latency of
 				// one task, not one block.
 				if ctx.Err() != nil {
+					cfg.Counters.AddKernelTasks(int(dec.Kernel), tasksDone)
 					return
 				}
 				j := nonEmptyR[jj]
-				if cfg.Rep == RepSorted {
-					contractTilePairSorted(ls.sortedAt(i), rs.sortedAt(j), baseL, uint64(j)*tr, wk, pools[w], cfg.Counters)
-				} else {
-					contractTilePair(ls.sealedAt(i), rs.sealedAt(j), baseL, uint64(j)*tr, wk, pools[w], cfg.Counters)
-				}
+				kern(ls, rs, i, j, baseL, uint64(j)*tr, wk, pools[w], cfg.Counters, probeBatch)
+				tasksDone++
 			}
 		}
+		cfg.Counters.AddKernelTasks(int(dec.Kernel), tasksDone)
 	})
 	// Accumulators drain at the end of every task, so canceled or not they
 	// are empty and safe to park for the next run.

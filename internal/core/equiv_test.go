@@ -237,6 +237,10 @@ func FuzzContractTiling(f *testing.F) {
 	f.Add(int64(5), uint16(33), uint16(470), uint16(25), uint16(10), uint16(100), uint16(700), uint16(0)) // blocks clip at both edges
 	f.Add(int64(6), uint16(100), uint16(90), uint16(30), uint16(7), uint16(13), uint16(600), uint16(1))   // 1-byte budget: evict everything
 	f.Add(int64(7), uint16(257), uint16(129), uint16(17), uint16(16), uint16(16), uint16(900), uint16(4096))
+	// Batched-probe boundary: ~62 distinct contraction keys per tile — not a
+	// multiple of the probe batch width — so LookupBatch's remainder chunk is
+	// exercised on the hash-rep leg of every fuzz execution of this seed.
+	f.Add(int64(8), uint16(120), uint16(110), uint16(61), uint16(40), uint16(40), uint16(800), uint16(0))
 	f.Fuzz(func(t *testing.T, seed int64, extL16, extR16, ctr16, tl16, tr16, nnz16, budget16 uint16) {
 		extL := uint64(extL16%1000) + 1
 		extR := uint64(extR16%1000) + 1

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fastcc/internal/coo"
+	"fastcc/internal/hashtable"
+	"fastcc/internal/mempool"
+	"fastcc/internal/metrics"
+	"fastcc/internal/model"
+	"fastcc/internal/ref"
+)
+
+// TestKernelResolution pins the once-per-run dispatch: KernelAuto resolves
+// to the specialization matching (rep, accumulator), an explicit
+// KernelGeneric is honored, and a mismatched forced kernel fails at plan
+// time.
+func TestKernelResolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := randomMatrix(rng, 120, 30, 900)
+	r := randomMatrix(rng, 110, 30, 800)
+	cases := []struct {
+		rep  InputRep
+		acc  model.AccumKind
+		want model.KernelID
+	}{
+		{RepHash, model.AccumDense, model.KernelHashDense},
+		{RepHash, model.AccumSparse, model.KernelHashSparse},
+		{RepSorted, model.AccumDense, model.KernelSortedDense},
+		{RepSorted, model.AccumSparse, model.KernelSortedSparse},
+	}
+	for _, c := range cases {
+		cfg := Config{Threads: 2, TileL: 32, TileR: 32, Accum: c.acc, Rep: c.rep, Platform: tinyLLC}
+		out, st, err := Contract(l, r, cfg)
+		if err != nil {
+			t.Fatalf("%v/%v: %v", c.rep, c.acc, err)
+		}
+		RecycleOutput(out)
+		if st.Decision.Kernel != c.want {
+			t.Fatalf("%v/%v: resolved kernel %v want %v", c.rep, c.acc, st.Decision.Kernel, c.want)
+		}
+		cfg.Kernel = model.KernelGeneric
+		out, st, err = Contract(l, r, cfg)
+		if err != nil {
+			t.Fatalf("%v/%v generic: %v", c.rep, c.acc, err)
+		}
+		RecycleOutput(out)
+		if st.Decision.Kernel != model.KernelGeneric {
+			t.Fatalf("%v/%v: forced generic resolved to %v", c.rep, c.acc, st.Decision.Kernel)
+		}
+	}
+	// A specialized kernel for the wrong representation is a plan error.
+	bad := Config{Threads: 2, TileL: 32, TileR: 32, Accum: model.AccumDense,
+		Rep: RepSorted, Kernel: model.KernelHashDense, Platform: tinyLLC}
+	if _, _, err := Contract(l, r, bad); err == nil {
+		t.Fatal("hash kernel on sorted rep did not fail plan")
+	}
+	bad = Config{Threads: 2, TileL: 32, TileR: 32, Accum: model.AccumSparse,
+		Rep: RepHash, Kernel: model.KernelHashDense, Platform: tinyLLC}
+	if _, _, err := Contract(l, r, bad); err == nil {
+		t.Fatal("dense kernel on sparse accumulator did not fail plan")
+	}
+}
+
+// TestKernelGenericMatchesSpecialized is the microkernel acceptance test:
+// for every (rep, accum) combination the specialized kernel must reproduce
+// the generic loop bit for bit — same sorted coordinates, same float64 bit
+// patterns — and both must match the reference contraction.
+func TestKernelGenericMatchesSpecialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	l := randomMatrix(rng, 310, 45, 2600)
+	r := randomMatrix(rng, 270, 45, 2200)
+	want := ref.MapToMatrixTensor(ref.ContractMatrix(l, r), l.ExtDim, r.ExtDim)
+	want.Sort()
+	combos := []struct {
+		name string
+		rep  InputRep
+		acc  model.AccumKind
+	}{
+		{"hash/dense", RepHash, model.AccumDense},
+		{"hash/sparse", RepHash, model.AccumSparse},
+		{"sorted/dense", RepSorted, model.AccumDense},
+		{"sorted/sparse", RepSorted, model.AccumSparse},
+	}
+	for _, c := range combos {
+		cfg := Config{Threads: 4, TileL: 17, TileR: 32, Accum: c.acc, Rep: c.rep, Platform: tinyLLC}
+		gen := cfg
+		gen.Kernel = model.KernelGeneric
+		spec := collectSorted(t, l, r, cfg)
+		base := collectSorted(t, l, r, gen)
+		if !coo.Equal(spec, want) {
+			t.Fatalf("%s: specialized kernel differs from reference", c.name)
+		}
+		assertBitIdentical(t, c.name+" generic-vs-specialized", base, spec)
+	}
+}
+
+// TestIterateSmallerSideByDistinctKeys is the heuristic regression test: an
+// asymmetric tile pair where the LEFT table has many distinct keys with one
+// pair each and the RIGHT has few keys with many pairs each. Iterating by
+// distinct-key count means the query count equals the right side's key
+// count; a pair-count (or fixed-side) heuristic would iterate the left.
+// Both the generic loop and the batched hash kernels must make the same
+// choice — their accumulation orders (and so the output bits) depend on it.
+func TestIterateSmallerSideByDistinctKeys(t *testing.T) {
+	const manyKeys, fewKeys, pairsPerKey = 90, 7, 40
+	big := hashtable.NewSliceTable(manyKeys)
+	for k := 0; k < manyKeys; k++ {
+		big.Insert(uint64(k), uint32(k%31), 1)
+	}
+	small := hashtable.NewSliceTable(fewKeys)
+	for k := 0; k < fewKeys; k++ {
+		for p := 0; p < pairsPerKey; p++ {
+			small.Insert(uint64(k), uint32(p), 1) // pair count 280 >> big's 90
+		}
+	}
+	hl, hr := big.Seal(), small.Seal()
+	for _, dir := range []struct {
+		name   string
+		hl, hr *hashtable.Sealed
+	}{{"small-right", hl, hr}, {"small-left", hr, hl}} {
+		iter, probeInto, _ := chooseSides(dir.hl, dir.hr)
+		if iter.Len() != fewKeys || probeInto.Len() != manyKeys {
+			t.Fatalf("%s: chooseSides iterated the %d-key side", dir.name, iter.Len())
+		}
+		for _, kern := range []struct {
+			name string
+			run  func(wk *worker, pool *mempool.Pool[Triple], ctr *metrics.Counters)
+		}{
+			{"generic", func(wk *worker, pool *mempool.Pool[Triple], ctr *metrics.Counters) {
+				contractTilePair(dir.hl, dir.hr, 0, 0, wk, pool, ctr)
+			}},
+			{"batched", func(wk *worker, pool *mempool.Pool[Triple], ctr *metrics.Counters) {
+				contractHashDense(dir.hl, dir.hr, 0, 0, wk, pool, ctr, hashtable.LookupBatchMax)
+			}},
+		} {
+			var ctr metrics.Counters
+			wk := newWorker(model.AccumDense, 128, 32, 0)
+			pool := outputChunks.NewPool()
+			kern.run(wk, pool, &ctr)
+			outputChunks.Release(mempool.Concat(pool))
+			if q := ctr.Snapshot().Queries; q != fewKeys {
+				t.Fatalf("%s/%s: %d queries, want %d (cheaper side not iterated)",
+					dir.name, kern.name, q, fewKeys)
+			}
+		}
+	}
+}
+
+// TestHashKernelProbeCounters checks the new observability: hash kernels
+// report probe batches, and hits+misses add up to queries.
+func TestHashKernelProbeCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	l := randomMatrix(rng, 200, 40, 1500)
+	r := randomMatrix(rng, 180, 40, 1300)
+	for _, acc := range []model.AccumKind{model.AccumDense, model.AccumSparse} {
+		var ctr metrics.Counters
+		out, st, err := Contract(l, r, Config{
+			Threads: 2, TileL: 32, TileR: 32, Accum: acc, Platform: tinyLLC, Counters: &ctr,
+		})
+		if err != nil {
+			t.Fatalf("accum=%v: %v", acc, err)
+		}
+		RecycleOutput(out)
+		s := ctr.Snapshot()
+		if s.ProbeBatches == 0 {
+			t.Fatalf("accum=%v: no probe batches recorded", acc)
+		}
+		if s.ProbeHits+s.ProbeMisses != s.Queries {
+			t.Fatalf("accum=%v: hits %d + misses %d != queries %d", acc, s.ProbeHits, s.ProbeMisses, s.Queries)
+		}
+		if s.ProbeHits == 0 {
+			t.Fatalf("accum=%v: contraction with output found no probe hits", acc)
+		}
+		if got := s.KernelTasks[int(st.Decision.Kernel)]; got != int64(st.Tasks) {
+			t.Fatalf("accum=%v: kernel %v ran %d tasks, stats say %d", acc, st.Decision.Kernel, got, st.Tasks)
+		}
+	}
+	// Sorted kernels probe nothing: the batch counters must stay zero.
+	var ctr metrics.Counters
+	out, _, err := Contract(l, r, Config{
+		Threads: 2, TileL: 32, TileR: 32, Rep: RepSorted, Accum: model.AccumSparse,
+		Platform: tinyLLC, Counters: &ctr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RecycleOutput(out)
+	if s := ctr.Snapshot(); s.ProbeBatches != 0 || s.ProbeHits != 0 || s.ProbeMisses != 0 {
+		t.Fatalf("sorted rep recorded probe batches: %+v", s)
+	}
+}
+
+// TestTileNNZHintClamps pins the sparse-hint clamp boundaries, including the
+// NaN expectation a degenerate PNonzero produces (int(NaN) is
+// implementation-defined, so NaN must take the floor branch explicitly).
+func TestTileNNZHintClamps(t *testing.T) {
+	mk := func(p float64) model.Decision { return model.Decision{PNonzero: p} }
+	cases := []struct {
+		name   string
+		dec    model.Decision
+		tl, tr uint64
+		want   int
+	}{
+		{"below floor", mk(1e-9), 100, 100, 64},
+		{"at floor", mk(1), 8, 8, 64},
+		{"just above floor", mk(1), 13, 5, 65},
+		{"interior", mk(0.5), 1000, 1000, 500000},
+		{"above ceiling", mk(1), 1 << 16, 1 << 16, 1 << 22},
+		{"zero pnonzero", mk(0), 1000, 1000, 64},
+		{"nan pnonzero", mk(math.NaN()), 1000, 1000, 64},
+		{"nan from inf times zero", mk(math.Inf(1)), 0, 1000, 64},
+	}
+	for _, c := range cases {
+		if got := tileNNZHint(c.dec, c.tl, c.tr); got != c.want {
+			t.Errorf("%s: tileNNZHint = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// benchTilePairData builds one asymmetric tile pair in both representations
+// with a realistic key overlap, plus the matching workers.
+type benchTilePairData struct {
+	hl, hr *hashtable.Sealed
+	sl, sr *sortedTile
+}
+
+func newBenchTilePair(nKeysL, nKeysR, pairsPerKey int) *benchTilePairData {
+	mkSealed := func(nKeys, stride int) *hashtable.Sealed {
+		tb := hashtable.NewSliceTable(nKeys)
+		for k := 0; k < nKeys; k++ {
+			for p := 0; p < pairsPerKey; p++ {
+				tb.Insert(uint64(k*stride), uint32((k+p)%32), 1.25)
+			}
+		}
+		return tb.Seal()
+	}
+	mkSorted := func(nKeys, stride int) *sortedTile {
+		st := &sortedTile{}
+		for k := 0; k < nKeys; k++ {
+			st.keys = append(st.keys, uint64(k*stride))
+			st.offs = append(st.offs, int32(len(st.pairs)))
+			for p := 0; p < pairsPerKey; p++ {
+				st.pairs = append(st.pairs, hashtable.Pair{Idx: uint32((k + p) % 32), Val: 1.25})
+			}
+		}
+		st.offs = append(st.offs, int32(len(st.pairs)))
+		return st
+	}
+	// Left keys stride 1, right stride 2: half the smaller side intersects.
+	return &benchTilePairData{
+		hl: mkSealed(nKeysL, 1), hr: mkSealed(nKeysR, 2),
+		sl: mkSorted(nKeysL, 1), sr: mkSorted(nKeysR, 2),
+	}
+}
+
+// BenchmarkTilePair compares the microkernel family on one tile pair per
+// (rep, accum) combination, with the generic loop as the in-benchmark
+// baseline — `go test -bench TilePair ./internal/core` answers "did the
+// specialization help" without the full experiment harness.
+func BenchmarkTilePair(b *testing.B) {
+	const tl, tr = 64, 32
+	d := newBenchTilePair(1024, 512, 8)
+	run := func(name string, kind model.AccumKind, fn func(wk *worker, pool *mempool.Pool[Triple])) {
+		b.Run(name, func(b *testing.B) {
+			wk := newWorker(kind, tl, tr, 1<<12)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pool := outputChunks.NewPool()
+				fn(wk, pool)
+				outputChunks.Release(mempool.Concat(pool))
+			}
+		})
+	}
+	run("hash/dense/generic", model.AccumDense, func(wk *worker, pool *mempool.Pool[Triple]) {
+		contractTilePair(d.hl, d.hr, 0, 0, wk, pool, nil)
+	})
+	run("hash/dense/kernel", model.AccumDense, func(wk *worker, pool *mempool.Pool[Triple]) {
+		contractHashDense(d.hl, d.hr, 0, 0, wk, pool, nil, hashtable.LookupBatchMax)
+	})
+	run("hash/sparse/generic", model.AccumSparse, func(wk *worker, pool *mempool.Pool[Triple]) {
+		contractTilePair(d.hl, d.hr, 0, 0, wk, pool, nil)
+	})
+	run("hash/sparse/kernel", model.AccumSparse, func(wk *worker, pool *mempool.Pool[Triple]) {
+		contractHashSparse(d.hl, d.hr, 0, 0, wk, pool, nil, hashtable.LookupBatchMax)
+	})
+	run("sorted/dense/generic", model.AccumDense, func(wk *worker, pool *mempool.Pool[Triple]) {
+		contractTilePairSorted(d.sl, d.sr, 0, 0, wk, pool, nil)
+	})
+	run("sorted/dense/kernel", model.AccumDense, func(wk *worker, pool *mempool.Pool[Triple]) {
+		contractSortedDense(d.sl, d.sr, 0, 0, wk, pool, nil)
+	})
+	run("sorted/sparse/generic", model.AccumSparse, func(wk *worker, pool *mempool.Pool[Triple]) {
+		contractTilePairSorted(d.sl, d.sr, 0, 0, wk, pool, nil)
+	})
+	run("sorted/sparse/kernel", model.AccumSparse, func(wk *worker, pool *mempool.Pool[Triple]) {
+		contractSortedSparse(d.sl, d.sr, 0, 0, wk, pool, nil)
+	})
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fastcc/internal/accum"
 	"fastcc/internal/coo"
 	"fastcc/internal/hashtable"
 	"fastcc/internal/mempool"
@@ -115,8 +114,7 @@ func contractTilePairSorted(sl, sr *sortedTile, baseL, baseR uint64,
 	wk *worker, pool *mempool.Pool[Triple], ctr *metrics.Counters) {
 
 	var queries, volume, updates int64
-	dense, _ := wk.acc.(*accum.Dense)
-	sparse, _ := wk.acc.(*accum.Sparse)
+	dense, sparse := wk.dense, wk.sparse
 	i, j := 0, 0
 	for i < len(sl.keys) && j < len(sr.keys) {
 		queries++

@@ -9,17 +9,24 @@ import (
 	"fastcc/internal/model"
 )
 
-// worker holds the per-worker reusable accumulator.
+// worker holds the per-worker reusable accumulator. Exactly one of
+// dense/sparse is non-nil and aliases acc: the specialized kernels read the
+// typed field directly so no interface dispatch or per-tile type assertion
+// sits on the accumulate path.
 type worker struct {
-	acc accum.Accumulator
+	acc    accum.Accumulator
+	dense  *accum.Dense
+	sparse *accum.Sparse
 }
 
 func newWorker(kind model.AccumKind, tl, tr uint64, sparseHint int) *worker {
 	switch kind {
 	case model.AccumSparse:
-		return &worker{acc: accum.NewSparse(sparseHint)}
+		s := accum.NewSparse(sparseHint)
+		return &worker{acc: s, sparse: s}
 	default:
-		return &worker{acc: accum.NewDense(uint32(tl), uint32(tr))}
+		d := accum.NewDense(uint32(tl), uint32(tr))
+		return &worker{acc: d, dense: d}
 	}
 }
 
@@ -28,7 +35,10 @@ func newWorker(kind model.AccumKind, tl, tr uint64, sparseHint int) *worker {
 func tileNNZHint(dec model.Decision, tl, tr uint64) int {
 	e := dec.PNonzero * float64(tl) * float64(tr)
 	switch {
-	case e < 64:
+	case !(e >= 64):
+		// Covers e < 64 AND a NaN expectation (PNonzero NaN or zero-extent
+		// degenerate input): every comparison with NaN is false, so the old
+		// `e < 64` fallthrough reached int(NaN) — implementation-defined.
 		return 64
 	case e > 1<<22:
 		return 1 << 22
@@ -76,18 +86,11 @@ func contractTilePair(hl, hr *hashtable.Sealed, baseL, baseR uint64,
 
 	// Iterate the table with fewer distinct keys and probe the other: the
 	// intersection is the same, the query count smaller.
-	probeInto := hr
-	iter := hl
-	swapped := false
-	if hr.Len() < hl.Len() {
-		iter, probeInto = hr, hl
-		swapped = true
-	}
+	iter, probeInto, swapped := chooseSides(hl, hr)
 	var queries, volume, updates int64
 	// Devirtualize the accumulator for the upsert-dominated inner loops:
 	// the interface call would otherwise sit on every multiply-accumulate.
-	dense, _ := wk.acc.(*accum.Dense)
-	sparse, _ := wk.acc.(*accum.Sparse)
+	dense, sparse := wk.dense, wk.sparse
 	n := iter.Len()
 	for di := 0; di < n; di++ {
 		queries++

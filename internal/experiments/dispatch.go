@@ -20,6 +20,7 @@ var runners = map[string]func(Config, string) error{
 	"phases":     func(c Config, _ string) error { return RunPhases(c) },
 	"reuse":      func(c Config, _ string) error { return RunReuse(c) },
 	"buildscale": func(c Config, _ string) error { return RunBuildScale(c) },
+	"hotpath":    RunHotpath,
 }
 
 // Names lists the available experiments in stable order.
@@ -35,7 +36,7 @@ func Names() []string {
 // Run dispatches one experiment by name; "all" runs everything in order.
 func Run(cfg Config, name, suite string) error {
 	if name == "all" {
-		for _, n := range []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablate", "model", "phases", "reuse", "buildscale"} {
+		for _, n := range []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablate", "model", "phases", "reuse", "buildscale", "hotpath"} {
 			fmt.Fprintf(cfg.writer(), "\n===== %s =====\n\n", n)
 			if err := Run(cfg, n, suite); err != nil {
 				return err

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"fastcc"
+	"fastcc/internal/coo"
+	"fastcc/internal/model"
+)
+
+// HotpathResult is one (case, combo) comparison of the specialized tile
+// microkernel against the generic co-iteration loop, contract phase only
+// (the build phase is identical — both run over the same warm shards).
+type HotpathResult struct {
+	Case  string `json:"case"`
+	Rep   string `json:"rep"`
+	Accum string `json:"accum"`
+	// Kernel is the specialized kernel the run resolved to.
+	Kernel string `json:"kernel"`
+	// GenericSeconds / KernelSeconds are the minimum contract-phase times
+	// over the configured repeats.
+	GenericSeconds float64 `json:"generic_seconds"`
+	KernelSeconds  float64 `json:"kernel_seconds"`
+	Speedup        float64 `json:"speedup"`
+	// BitIdentical reports that the specialized kernel reproduced the
+	// generic loop's output exactly (same sorted coordinates, same float64
+	// bits) — the experiment fails if any case is false.
+	BitIdentical bool `json:"bit_identical"`
+	// Probe-batch observability of the specialized run (hash kernels only;
+	// zero for sorted kernels, which probe nothing).
+	ProbeBatches int64   `json:"probe_batches"`
+	ProbeHitRate float64 `json:"probe_hit_rate"`
+}
+
+// HotpathCombo summarizes one (rep, accum) combination across cases.
+type HotpathCombo struct {
+	Rep            string  `json:"rep"`
+	Accum          string  `json:"accum"`
+	Kernel         string  `json:"kernel"`
+	GeomeanSpeedup float64 `json:"geomean_speedup"`
+}
+
+// HotpathReport is the full -exp hotpath output, serialized into
+// BENCH_hotpath.json.
+type HotpathReport struct {
+	Combos []HotpathCombo  `json:"combos"`
+	Cases  []HotpathResult `json:"cases"`
+}
+
+// hotpathCombos enumerates the microkernel family.
+var hotpathCombos = []struct {
+	rep InputRepChoice
+	acc model.AccumKind
+}{
+	{InputRepChoice{fastcc.RepHash, "hash"}, model.AccumDense},
+	{InputRepChoice{fastcc.RepHash, "hash"}, model.AccumSparse},
+	{InputRepChoice{fastcc.RepSorted, "sorted"}, model.AccumDense},
+	{InputRepChoice{fastcc.RepSorted, "sorted"}, model.AccumSparse},
+}
+
+// InputRepChoice pairs a representation with its report label.
+type InputRepChoice struct {
+	Rep  fastcc.InputRep
+	Name string
+}
+
+// RunHotpath is the microkernel speed experiment: for every (rep, accum)
+// combination it contracts the selected suite twice over the same warm shards
+// — once with the generic loop forced (WithKernel(KernelGeneric)), once
+// with the specialized kernel — comparing contract-phase times and
+// demanding bit-for-bit identical output. The two arms alternate within each
+// repeat (GC fenced) so host-level drift lands on both alike. With
+// cfg.ProfileDir set, each combination's measurement loop is captured as a
+// CPU profile (hotpath_<rep>-<accum>.pprof) holding both inner loops for
+// side-by-side inspection in pprof.
+func RunHotpath(cfg Config, suite string) error {
+	type loaded struct {
+		id     string
+		ls, rs *fastcc.Sharded
+	}
+	var report HotpathReport
+	for _, combo := range hotpathCombos {
+		kernel := model.SelectKernel(combo.rep.Rep == fastcc.RepSorted, combo.acc)
+		comboOpts := fastccOpts(cfg,
+			fastcc.WithInputRep(combo.rep.Rep),
+			fastcc.WithAccumulator(combo.acc),
+		)
+		slug := combo.rep.Name + "-" + combo.acc.String()
+
+		// Load and preshard every case once per combo; the first contraction
+		// below warms the shard cache so both timing passes run Build-free.
+		var cases []loaded
+		for _, cs := range CatalogSuite(suite) {
+			l, r, spec, err := cs.Load(cfg)
+			if err != nil {
+				return err
+			}
+			ls, err := fastcc.Preshard(l, spec.CtrLeft)
+			if err != nil {
+				return fmt.Errorf("hotpath %s: %w", cs.ID, err)
+			}
+			rs := ls
+			if r != l {
+				if rs, err = fastcc.Preshard(r, spec.CtrRight); err != nil {
+					return fmt.Errorf("hotpath %s: %w", cs.ID, err)
+				}
+			}
+			if _, _, err := fastcc.ContractPrepared(ls, rs, comboOpts...); err != nil {
+				return fmt.Errorf("hotpath %s warm: %w", cs.ID, err)
+			}
+			cases = append(cases, loaded{cs.ID, ls, rs})
+		}
+
+		// Measure: paired, interleaved repeats — generic then specialized
+		// within each repeat, GC fenced — so slow drift on the host (GC debt,
+		// CPU contention) hits both arms alike instead of biasing whichever
+		// pass ran second. Minimum contract-phase time per arm is reported.
+		genOpts := append(append([]fastcc.Option{}, comboOpts...), fastcc.WithKernel(fastcc.KernelGeneric))
+		krnOpts := append(append([]fastcc.Option{}, comboOpts...), fastcc.WithMetrics())
+		err := withProfile(cfg, "hotpath_"+slug, func() error {
+			for _, c := range cases {
+				var genBest, krnBest float64
+				var krnStats *fastcc.Stats
+				var genOut, krnOut *fastcc.Tensor
+				for rep := 0; rep < cfg.repeats(); rep++ {
+					runtime.GC()
+					gOut, gSt, err := fastcc.ContractPrepared(c.ls, c.rs, genOpts...)
+					if err != nil {
+						return fmt.Errorf("hotpath %s generic: %w", c.id, err)
+					}
+					if s := gSt.Contract.Seconds(); rep == 0 || s < genBest {
+						genBest = s
+					}
+					genOut = gOut
+					runtime.GC()
+					kOut, kSt, err := fastcc.ContractPrepared(c.ls, c.rs, krnOpts...)
+					if err != nil {
+						return fmt.Errorf("hotpath %s kernel: %w", c.id, err)
+					}
+					if s := kSt.Contract.Seconds(); rep == 0 || s < krnBest {
+						krnBest, krnStats = s, kSt
+					}
+					krnOut = kOut
+				}
+				if got := krnStats.Decision.Kernel; got != kernel {
+					return fmt.Errorf("hotpath %s: resolved kernel %v, want %v", c.id, got, kernel)
+				}
+				res := HotpathResult{
+					Case: c.id, Rep: combo.rep.Name, Accum: combo.acc.String(),
+					Kernel:         kernel.String(),
+					GenericSeconds: genBest,
+					KernelSeconds:  krnBest,
+					BitIdentical:   bitIdenticalTensors(genOut, krnOut),
+					ProbeBatches:   krnStats.Counters.ProbeBatches,
+				}
+				if krnBest > 0 {
+					res.Speedup = genBest / krnBest
+				}
+				if q := krnStats.Counters.Queries; q > 0 {
+					res.ProbeHitRate = float64(krnStats.Counters.ProbeHits) / float64(q)
+				}
+				report.Cases = append(report.Cases, res)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, c := range cases {
+			c.ls.Drop()
+			if c.rs != c.ls {
+				c.rs.Drop()
+			}
+		}
+
+		// Per-combo geomean over this combo's slice of the case list.
+		logSum, logN := 0.0, 0
+		for _, res := range report.Cases[len(report.Cases)-len(cases):] {
+			if !res.BitIdentical {
+				return fmt.Errorf("hotpath %s %s: specialized kernel diverged from the generic loop", res.Case, res.Kernel)
+			}
+			if res.Speedup > 0 {
+				logSum += math.Log(res.Speedup)
+				logN++
+			}
+		}
+		sum := HotpathCombo{Rep: combo.rep.Name, Accum: combo.acc.String(), Kernel: kernel.String()}
+		if logN > 0 {
+			sum.GeomeanSpeedup = math.Exp(logSum / float64(logN))
+		}
+		report.Combos = append(report.Combos, sum)
+	}
+	enc := json.NewEncoder(cfg.writer())
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// bitIdenticalTensors reports whether two contraction outputs agree exactly:
+// same sorted coordinates and identical float64 bit patterns.
+func bitIdenticalTensors(a, b *fastcc.Tensor) bool {
+	a.Sort()
+	b.Sort()
+	if !coo.Equal(a, b) {
+		return false
+	}
+	for i := range a.Vals {
+		if math.Float64bits(a.Vals[i]) != math.Float64bits(b.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// withProfile runs fn under a CPU profile written to cfg.ProfileDir/name.pprof
+// when a profile directory is configured, or plain otherwise.
+func withProfile(cfg Config, name string, fn func() error) error {
+	if cfg.ProfileDir == "" {
+		return fn()
+	}
+	if err := os.MkdirAll(cfg.ProfileDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(cfg.ProfileDir, name+".pprof"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return fmt.Errorf("experiments: start profile %s: %w", name, err)
+	}
+	t0 := time.Now()
+	ferr := fn()
+	pprof.StopCPUProfile()
+	// Stderr, not cfg.writer(): the report writer carries pure JSON and a
+	// redirected `fastcc-bench ... > out.json` must stay parseable.
+	fmt.Fprintf(os.Stderr, "# profile %s.pprof captured (%.2fs)\n", name, time.Since(t0).Seconds())
+	return ferr
+}

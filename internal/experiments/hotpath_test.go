@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRunHotpathEmitsValidJSON is the tiny-scale smoke of the microkernel
+// experiment: every (rep, accum) combination over the QC suite, asserting the
+// report parses, covers all four kernels, and that every case came back
+// bit-identical (RunHotpath itself errors on divergence — this re-checks the
+// serialized flags so a report with a silent false can't be produced).
+func TestRunHotpathEmitsValidJSON(t *testing.T) {
+	var buf strings.Builder
+	cfg := tinyConfig(&buf)
+	if err := RunHotpath(cfg, "qc"); err != nil {
+		t.Fatal(err)
+	}
+	var report HotpathReport
+	if err := json.Unmarshal([]byte(buf.String()), &report); err != nil {
+		t.Fatalf("hotpath output is not valid JSON: %v", err)
+	}
+	checkHotpathReport(t, report)
+	if len(report.Combos) != len(hotpathCombos) {
+		t.Fatalf("report has %d combos, want %d", len(report.Combos), len(hotpathCombos))
+	}
+	wantCases := len(CatalogSuite("qc")) * len(hotpathCombos)
+	if len(report.Cases) != wantCases {
+		t.Fatalf("report has %d cases, want %d", len(report.Cases), wantCases)
+	}
+}
+
+// TestBenchHotpathArtifact validates the checked-in BENCH_hotpath.json:
+// strict schema (no unknown fields), all cases bit-identical, and the
+// headline criterion — the hash×dense microkernel at or above a 1.2x
+// contract-phase geomean over the generic loop.
+func TestBenchHotpathArtifact(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_hotpath.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var report HotpathReport
+	if err := dec.Decode(&report); err != nil {
+		t.Fatalf("BENCH_hotpath.json does not match the HotpathReport schema: %v", err)
+	}
+	checkHotpathReport(t, report)
+	for _, c := range report.Combos {
+		if c.Rep == "hash" && c.Accum == "dense" && c.GeomeanSpeedup < 1.2 {
+			t.Fatalf("hash-dense geomean %.3f below the 1.2x acceptance bar", c.GeomeanSpeedup)
+		}
+	}
+}
+
+// checkHotpathReport enforces the invariants shared by fresh runs and the
+// checked-in artifact.
+func checkHotpathReport(t *testing.T, report HotpathReport) {
+	t.Helper()
+	if len(report.Combos) == 0 || len(report.Cases) == 0 {
+		t.Fatalf("report shape: %d combos, %d cases", len(report.Combos), len(report.Cases))
+	}
+	seen := map[string]bool{}
+	for _, c := range report.Combos {
+		seen[c.Rep+"-"+c.Accum] = true
+		if c.GeomeanSpeedup <= 0 {
+			t.Fatalf("combo %s-%s: geomean %v", c.Rep, c.Accum, c.GeomeanSpeedup)
+		}
+	}
+	for _, k := range []string{"hash-dense", "hash-sparse", "sorted-dense", "sorted-sparse"} {
+		if !seen[k] {
+			t.Fatalf("combo %s missing from report", k)
+		}
+	}
+	for _, c := range report.Cases {
+		if !c.BitIdentical {
+			t.Fatalf("case %s %s: kernel output not bit-identical", c.Case, c.Kernel)
+		}
+		if c.GenericSeconds <= 0 || c.KernelSeconds <= 0 {
+			t.Fatalf("case %s %s: non-positive timings %+v", c.Case, c.Kernel, c)
+		}
+		if c.Rep == "hash" && c.ProbeBatches <= 0 {
+			t.Fatalf("case %s %s: hash kernel reported no probe batches", c.Case, c.Kernel)
+		}
+		if c.Rep == "sorted" && c.ProbeBatches != 0 {
+			t.Fatalf("case %s %s: sorted kernel reported probe batches", c.Case, c.Kernel)
+		}
+	}
+}

@@ -154,6 +154,96 @@ func (s *Sealed) Lookup(key uint64) []Pair {
 // Contains reports whether key is present.
 func (s *Sealed) Contains(key uint64) bool { return s.Lookup(key) != nil }
 
+// Keys returns the dense key array in insertion order — the flat iteration
+// side of tile co-iteration, and the array the batched probe side consumes
+// in chunks. The slice aliases the sealed storage and must not be modified.
+//
+//fastcc:hotpath
+func (s *Sealed) Keys() []uint64 {
+	s.checkLive("Keys")
+	return s.keys
+}
+
+// LookupBatchMax bounds one LookupBatch chunk: the stack scratch the
+// software pipeline spreads its in-flight probes over. Callers may pass
+// longer key slices — the pipeline restarts every LookupBatchMax keys.
+const LookupBatchMax = 16
+
+// LookupBatch resolves keys[i] to its dense key index in out[i] (usable
+// with PairsAt), or -1 when absent, and returns the number present. The
+// point is latency overlap: where Lookup serializes one hash → load →
+// compare chain per key, LookupBatch hashes a whole chunk and issues its
+// home-slot loads in a branch-free pass — up to LookupBatchMax independent
+// cache misses in flight — and only then resolves collisions, so probe
+// latency amortizes across the chunk instead of summing.
+//
+// out must have at least len(keys) entries; out[len(keys):] is untouched.
+//
+//fastcc:hotpath
+func (s *Sealed) LookupBatch(keys []uint64, out []int32) (hits int) {
+	s.checkLive("LookupBatch")
+	_ = out[:len(keys)] // one bounds check for the whole batch
+	var (
+		slots    [LookupBatchMax]uint64
+		homeIdx  [LookupBatchMax]int32
+		homeKeys [LookupBatchMax]uint64
+	)
+	for base := 0; base < len(keys); base += LookupBatchMax {
+		n := len(keys) - base
+		if n > LookupBatchMax {
+			n = LookupBatchMax
+		}
+		chunk := keys[base : base+n]
+		// Pipeline pass: hash every key and load its home slot's index and
+		// key. Nothing here branches on a loaded value, so the loads of the
+		// whole chunk overlap in the load queue.
+		for i, k := range chunk {
+			slot := Mix(k) & s.mask
+			slots[i] = slot
+			homeIdx[i] = s.slotIdx[slot]
+			homeKeys[i] = s.slotKeys[slot]
+		}
+		// Resolve pass: the common cases — empty home slot (miss) or key
+		// match at home (hit) — complete from the prefetched state; only
+		// collision chains fall through to the serial probe walk.
+		for i, k := range chunk {
+			li := homeIdx[i]
+			switch {
+			case li == sliceEmptySlot:
+				out[base+i] = -1
+			case homeKeys[i] == k:
+				out[base+i] = li
+				hits++
+			default:
+				out[base+i] = s.probeFrom(slots[i], k)
+				if out[base+i] >= 0 {
+					hits++
+				}
+			}
+		}
+	}
+	return hits
+}
+
+// probeFrom continues a linear probe for key from the slot after home,
+// returning the dense key index or -1. The home slot itself was already
+// checked by LookupBatch's pipeline pass.
+//
+//fastcc:hotpath
+func (s *Sealed) probeFrom(home uint64, key uint64) int32 {
+	slot := (home + 1) & s.mask
+	for {
+		li := s.slotIdx[slot]
+		if li == sliceEmptySlot {
+			return -1
+		}
+		if s.slotKeys[slot] == key {
+			return li
+		}
+		slot = (slot + 1) & s.mask
+	}
+}
+
 // ForEach visits every (key, pair run) in insertion order. Kept for tests
 // and tooling; the contraction kernel uses the KeyAt/PairsAt cursor.
 func (s *Sealed) ForEach(fn func(key uint64, pairs []Pair)) {

@@ -162,6 +162,100 @@ func TestSliceTableFootprintWithAccurateHint(t *testing.T) {
 	}
 }
 
+// TestLookupBatchMatchesLookup pins the batched probe against the serial
+// one across table sizes, including key counts that are not a multiple of
+// the batch width (the chunked pipeline's remainder path) and a heavy mix
+// of absent keys.
+func TestLookupBatchMatchesLookup(t *testing.T) {
+	for _, distinct := range []int{0, 1, 7, LookupBatchMax - 1, LookupBatchMax, LookupBatchMax + 1, 61, 500} {
+		rng := rand.New(rand.NewSource(int64(distinct) + 1))
+		tb := NewSliceTable(distinct)
+		for i := 0; i < distinct*4; i++ {
+			tb.Insert(uint64(i%max(distinct, 1)), uint32(i), float64(rng.Intn(9)))
+		}
+		s := tb.Seal()
+
+		// Probe the full key set plus interleaved absent keys.
+		var keys []uint64
+		for i := 0; i < s.Len(); i++ {
+			keys = append(keys, s.KeyAt(i), uint64(1_000_000+i))
+		}
+		out := make([]int32, len(keys))
+		hits := s.LookupBatch(keys, out)
+		if hits != s.Len() {
+			t.Fatalf("distinct=%d: hits=%d want %d", distinct, hits, s.Len())
+		}
+		for i, k := range keys {
+			want := s.Lookup(k)
+			switch {
+			case want == nil && out[i] != -1:
+				t.Fatalf("distinct=%d key %d: batch found absent key (li=%d)", distinct, k, out[i])
+			case want != nil && out[i] < 0:
+				t.Fatalf("distinct=%d key %d: batch missed present key", distinct, k)
+			case want != nil:
+				got := s.PairsAt(int(out[i]))
+				if len(got) != len(want) || (len(got) > 0 && &got[0] != &want[0]) {
+					t.Fatalf("distinct=%d key %d: batch resolved a different pair run", distinct, k)
+				}
+			}
+		}
+	}
+}
+
+// TestLookupBatchCollisionChains drives the slow (probe-walk) path: a table
+// held at high load so home-slot collisions are common.
+func TestLookupBatchCollisionChains(t *testing.T) {
+	// A deliberately under-hinted table: every insert after the first few
+	// probes past occupied slots.
+	tb := NewSliceTable(0)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		tb.Insert(uint64(i)*2654435761, uint32(i), 1)
+	}
+	s := tb.Seal()
+	keys := s.Keys()
+	out := make([]int32, len(keys))
+	if hits := s.LookupBatch(keys, out); hits != s.Len() {
+		t.Fatalf("hits=%d want %d", hits, s.Len())
+	}
+	for i := range keys {
+		if int(out[i]) != i {
+			t.Fatalf("key %d resolved to dense index %d", i, out[i])
+		}
+	}
+	// A batch of all-absent keys exercises chain termination.
+	absent := make([]uint64, 100)
+	for i := range absent {
+		absent[i] = uint64(n+i)*2654435761 + 1
+	}
+	out = out[:len(absent)]
+	if hits := s.LookupBatch(absent, out); hits != 0 {
+		t.Fatalf("absent batch reported %d hits", hits)
+	}
+	for i, li := range out {
+		if li != -1 {
+			t.Fatalf("absent key %d resolved to %d", i, li)
+		}
+	}
+}
+
+func TestSealedKeysAliasCursor(t *testing.T) {
+	tb := NewSliceTable(4)
+	for i := uint64(0); i < 100; i++ {
+		tb.Insert(i%13, uint32(i), 1)
+	}
+	s := tb.Seal()
+	ks := s.Keys()
+	if len(ks) != s.Len() {
+		t.Fatalf("Keys() len %d want %d", len(ks), s.Len())
+	}
+	for i, k := range ks {
+		if k != s.KeyAt(i) {
+			t.Fatalf("Keys()[%d]=%d diverges from KeyAt=%d", i, k, s.KeyAt(i))
+		}
+	}
+}
+
 func BenchmarkSealedLookup(b *testing.B) {
 	tb := NewSliceTable(1 << 12)
 	for i := 0; i < 1<<14; i++ {
@@ -171,6 +265,20 @@ func BenchmarkSealedLookup(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = s.Lookup(uint64(i) & 0xFFF)
+	}
+}
+
+func BenchmarkSealedLookupBatch(b *testing.B) {
+	tb := NewSliceTable(1 << 12)
+	for i := 0; i < 1<<14; i++ {
+		tb.Insert(uint64(i)&0xFFF, uint32(i), 1.0)
+	}
+	s := tb.Seal()
+	keys := s.Keys()
+	out := make([]int32, len(keys))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.LookupBatch(keys, out)
 	}
 }
 
