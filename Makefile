@@ -40,9 +40,21 @@ vet:
 # driver are Go code holding the same invariants they enforce on the
 # engine, and a mis-registered pass aborts here with exit 2 before it can
 # silently disable a gate on the main tree.
+#
+# The second half is the devirtualization ledger. The whole-program passes
+# re-run over the layers with the densest indirect calls (the server's
+# handler plumbing, the core microkernel dispatch, the command drivers),
+# then the call-graph stats are printed into the log and the opaque-site
+# count — the passes' tracked soundness gap — is compared against the
+# checked-in golden number. Drift fails the build in both directions: a
+# rise means a change gave the passes new blind spots (resolve it or
+# annotate the site //fastcc:dynamic with a rationale); a drop means the
+# devirtualizer got stronger — lower the golden number to lock in the gain.
 vet-self:
 	$(GO) build -o bin/fastcc-vet ./cmd/fastcc-vet
 	./bin/fastcc-vet ./tools/analysis/... ./cmd/fastcc-vet
+	./bin/fastcc-vet -c lockorder,pinbracket,poolescapex ./internal/server ./internal/core ./cmd/...
+	./bin/fastcc-vet -stats -c lockorder ./... | tee /dev/stderr | grep '^opaque call sites:' | diff tools/analysis/opaque_golden.txt -
 
 # Shard-cache lifecycle gate: the concurrent Drop/eviction soak and the
 # core lifecycle suite under the race detector, then again under the

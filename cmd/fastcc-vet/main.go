@@ -10,8 +10,9 @@
 // dimension products (linovf), allocations in //fastcc:hotpath kernels
 // (hotalloc), WaitGroup fork/join mistakes (wgmisuse), discarded finalizer
 // errors (errdiscard), pool-obtained memory escaping its recycle point
-// (poolescape), narrow-integer span arithmetic (spanarith) and writes to
-// sealed structures outside their constructors (sealedmut). Three
+// (poolescape), narrow-integer span arithmetic (spanarith), writes to
+// sealed structures outside their constructors (sealedmut) and batched
+// probe/scatter length contracts at provable call sites (batchlen). Three
 // whole-program passes reason over a shared call graph: interprocedural
 // pool escape (poolescapex), mutex acquisition order against annotated
 // //fastcc:lockrank ranks (lockorder), and pin/guard/pool bracket balance on
@@ -33,6 +34,7 @@ import (
 	"strings"
 
 	"fastcc/tools/analysis/atomicmix"
+	"fastcc/tools/analysis/batchlen"
 	"fastcc/tools/analysis/errdiscard"
 	"fastcc/tools/analysis/framework"
 	"fastcc/tools/analysis/hotalloc"
@@ -49,6 +51,7 @@ import (
 // All is the registered analyzer suite, in reporting order.
 var All = []*framework.Analyzer{
 	atomicmix.Analyzer,
+	batchlen.Analyzer,
 	errdiscard.Analyzer,
 	hotalloc.Analyzer,
 	linovf.Analyzer,
@@ -100,6 +103,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list    = fs.Bool("list", false, "list the analyzers and exit")
 		checks  = fs.String("c", "", "comma-separated analyzer names to run (default: all)")
 		workDir = fs.String("dir", ".", "directory to resolve package patterns from")
+		stats   = fs.Bool("stats", false, "print call-graph devirtualization statistics (opaque-site count) after analysis")
+		opaque  = fs.Bool("opaque", false, "list every opaque (unresolved indirect) call site; implies -stats")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -133,13 +138,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "fastcc-vet:", err)
 		return 2
 	}
-	diags, fset, err := framework.RunAnalyzers(pkgs, analyzers)
+	prog := framework.NewProgram(pkgs)
+	diags, fset, err := framework.RunAnalyzersOn(prog, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, "fastcc-vet:", err)
 		return 2
 	}
 	for _, d := range diags {
 		fmt.Fprintln(stdout, framework.Format(fset, d))
+	}
+	if *opaque {
+		*stats = true
+		for _, node := range prog.CallGraph().Nodes {
+			for _, site := range node.Calls {
+				if site.Opaque && site.Kind != framework.CallExternal {
+					pos := prog.Fset.Position(site.Call.Pos())
+					fmt.Fprintf(stdout, "opaque: %s:%d:%d in %s\n", pos.Filename, pos.Line, pos.Column, node.Name())
+				}
+			}
+		}
+	}
+	if *stats {
+		// The devirtualization ledger: how much of the call graph the
+		// whole-program passes actually see. "opaque call sites" is the
+		// tracked soundness gap — CI guards it against regression
+		// (tools/analysis/opaque_golden.txt).
+		s := prog.CallStats()
+		fmt.Fprintf(stdout, "call sites: %d\n", s.Sites)
+		fmt.Fprintf(stdout, "  direct: %d\n", s.Direct)
+		fmt.Fprintf(stdout, "  external (no source): %d\n", s.External)
+		fmt.Fprintf(stdout, "  devirtualized interface calls: %d\n", s.DevirtIface)
+		fmt.Fprintf(stdout, "  devirtualized func-value calls: %d\n", s.DevirtFunc)
+		fmt.Fprintf(stdout, "  dynamic (annotated //fastcc:dynamic): %d\n", s.Dynamic)
+		fmt.Fprintf(stdout, "opaque call sites: %d\n", s.Opaque)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "fastcc-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

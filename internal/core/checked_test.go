@@ -5,6 +5,7 @@ import (
 
 	"fastcc/internal/coo"
 	"fastcc/internal/hashtable"
+	"fastcc/internal/lockcheck"
 	"fastcc/internal/mempool"
 )
 
@@ -72,4 +73,29 @@ func TestBuiltShardPassesGenerationCheck(t *testing.T) {
 	for i := 0; i < s.Tiles(); i++ {
 		_ = s.sealedAt(i)
 	}
+}
+
+// TestLockRankTwinCatchesInversion nests the two locks the lifecycle
+// contract forbids ever holding together — shardLRU.mu (rank 1 exclusive)
+// and Operand.mu (rank 2 exclusive) — and requires the fastcc_checked build
+// to panic at the second acquisition (internal/lockcheck's dynamic twin of
+// the lockorder pass), while the normal build stays silent. The static pass
+// flags this shape on paths it can see; the twin catches whatever path
+// actually ran, including ones reaching the locks through calls the static
+// call graph reports as opaque.
+func TestLockRankTwinCatchesInversion(t *testing.T) {
+	op := &Operand{}
+	shardLRU.mu.Lock()
+	defer shardLRU.mu.Unlock()
+	defer func() {
+		r := recover()
+		if lockcheck.Checked && r == nil {
+			t.Fatal("fastcc_checked build did not panic on Operand.mu acquired under shardLRU.mu")
+		}
+		if !lockcheck.Checked && r != nil {
+			t.Fatalf("normal build panicked: %v", r)
+		}
+	}()
+	op.mu.Lock()
+	op.mu.Unlock()
 }

@@ -28,9 +28,9 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 
+	"fastcc/internal/lockcheck"
 	"fastcc/internal/metrics"
 	"fastcc/internal/model"
 )
@@ -129,8 +129,17 @@ func (s *Shard) pinnedNow() bool { return s.state.Load()>>2 != 0 }
 // recently used. One instance exists (shardLRU); operands register every
 // completed build and the budget is (re)applied at each engine run from its
 // Config.
+// lruRank pins shardCache.mu into the dynamic lock-rank hierarchy
+// (internal/lockcheck): the same rank and exclusivity the //fastcc:lockrank
+// marker below declares to the static lockorder pass, enforced at runtime
+// under fastcc_checked.
+type lruRank struct{}
+
+func (lruRank) LockRank() (int, bool) { return 1, true }
+func (lruRank) RankLabel() string     { return "shardCache.mu" }
+
 type shardCache struct {
-	mu     sync.Mutex //fastcc:lockrank 1 exclusive -- never nested with Operand.mu, in either order
+	mu     lockcheck.Mutex[lruRank] //fastcc:lockrank 1 exclusive -- never nested with Operand.mu, in either order
 	budget int64 // bytes; <= 0 means unlimited
 	bytes  int64 // resident footprint of listed shards
 	head   *Shard

@@ -1,11 +1,11 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"fastcc/internal/coo"
 	"fastcc/internal/hashtable"
+	"fastcc/internal/lockcheck"
 	"fastcc/internal/scheduler"
 )
 
@@ -23,9 +23,17 @@ type Operand struct {
 	// Mat is the matrixized operand; treated as immutable once wrapped.
 	Mat *coo.Matrix
 
-	mu     sync.Mutex //fastcc:lockrank 2 exclusive -- never nested with shardLRU.mu, in either order
+	mu     lockcheck.Mutex[operandRank] //fastcc:lockrank 2 exclusive -- never nested with shardLRU.mu, in either order
 	shards map[ShardKey]*Shard
 }
+
+// operandRank pins Operand.mu into the dynamic lock-rank hierarchy
+// (internal/lockcheck), mirroring the //fastcc:lockrank marker above for
+// fastcc_checked builds.
+type operandRank struct{}
+
+func (operandRank) LockRank() (int, bool) { return 2, true }
+func (operandRank) RankLabel() string     { return "Operand.mu" }
 
 // NewOperand wraps a matrixized operand for shard caching. The matrix must
 // not be mutated afterwards: cached shards index into it. Under

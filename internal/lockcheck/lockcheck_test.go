@@ -1,0 +1,142 @@
+package lockcheck
+
+import (
+	"sync"
+	"testing"
+)
+
+// Test ranks spanning the three declaration shapes the engine uses: an
+// ordinary outer rank, an ordinary inner rank, and an exclusive rank.
+type (
+	outerRank struct{}
+	innerRank struct{}
+	exclRank  struct{}
+)
+
+func (outerRank) LockRank() (int, bool) { return 10, false }
+func (outerRank) RankLabel() string     { return "test.outer" }
+func (innerRank) LockRank() (int, bool) { return 20, false }
+func (innerRank) RankLabel() string     { return "test.inner" }
+func (exclRank) LockRank() (int, bool)  { return 30, true }
+func (exclRank) RankLabel() string      { return "test.excl" }
+
+// mustPanicWhenChecked runs fn expecting a lock-rank panic under
+// -tags fastcc_checked and silent success otherwise.
+func mustPanicWhenChecked(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if Checked && r == nil {
+			t.Fatalf("%s: fastcc_checked build did not panic on a deliberate lock-rank violation", what)
+		}
+		if !Checked && r != nil {
+			t.Fatalf("%s: normal build panicked unexpectedly: %v", what, r)
+		}
+	}()
+	fn()
+}
+
+// TestOrderedNestingIsSilent holds outer-then-inner — the declared order —
+// and must pass in both builds; a checked build that panics on legal
+// nesting would be unusable as a CI gate.
+func TestOrderedNestingIsSilent(t *testing.T) {
+	var outer Mutex[outerRank]
+	var inner Mutex[innerRank]
+	outer.Lock()
+	inner.Lock()
+	inner.Unlock()
+	outer.Unlock()
+	// The full cycle again, proving release really popped the entries.
+	outer.Lock()
+	inner.Lock()
+	inner.Unlock()
+	outer.Unlock()
+}
+
+// TestInversionPanicsWhenChecked injects the exact bug class the twin
+// exists for: acquiring a lower (outer) rank while a higher (inner) rank is
+// held. The static pass flags this shape when it can see the path; the
+// dynamic twin must catch it on whatever path actually ran.
+func TestInversionPanicsWhenChecked(t *testing.T) {
+	var outer Mutex[outerRank]
+	var inner Mutex[innerRank]
+	inner.Lock()
+	defer inner.Unlock()
+	mustPanicWhenChecked(t, "rank inversion", func() {
+		outer.Lock()
+		// Normal build only: undo so the test leaves no lock held.
+		outer.Unlock()
+	})
+}
+
+// TestExclusiveIsLeafAndRoot checks both halves of the exclusive contract:
+// acquiring an exclusive lock while anything ranked is held, and acquiring
+// anything ranked while an exclusive lock is held.
+func TestExclusiveIsLeafAndRoot(t *testing.T) {
+	var outer Mutex[outerRank]
+	var excl Mutex[exclRank]
+
+	outer.Lock()
+	mustPanicWhenChecked(t, "exclusive acquired under a ranked lock", func() {
+		excl.Lock()
+		excl.Unlock()
+	})
+	outer.Unlock()
+
+	excl.Lock()
+	mustPanicWhenChecked(t, "ranked lock acquired under an exclusive lock", func() {
+		outer.Lock()
+		outer.Unlock()
+	})
+	excl.Unlock()
+}
+
+// TestSameRankNestingPanicsWhenChecked nests two instances of the same
+// rank: "strictly greater" excludes equality, which is what makes a
+// self-deadlock through two same-ranked freelists a reported violation
+// rather than a silent hang.
+func TestSameRankNestingPanicsWhenChecked(t *testing.T) {
+	var a, b Mutex[outerRank]
+	a.Lock()
+	defer a.Unlock()
+	mustPanicWhenChecked(t, "same-rank nesting", func() {
+		b.Lock()
+		b.Unlock()
+	})
+}
+
+// TestGoroutinesAreIsolated holds an inner rank on one goroutine while
+// another acquires an outer rank: held stacks are per-goroutine, so this is
+// not a nesting and must stay silent in both builds.
+func TestGoroutinesAreIsolated(t *testing.T) {
+	var outer Mutex[outerRank]
+	var inner Mutex[innerRank]
+	inner.Lock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		outer.Lock()
+		outer.Unlock()
+	}()
+	wg.Wait()
+	inner.Unlock()
+}
+
+// TestTryLockValidates proves the TryLock path is accounted like Lock: a
+// successful try pushes the rank (so a following inversion panics) and a
+// released try pops it (so legal reuse stays silent).
+func TestTryLockValidates(t *testing.T) {
+	var outer Mutex[outerRank]
+	var inner Mutex[innerRank]
+	if !inner.TryLock() {
+		t.Fatal("uncontended TryLock failed")
+	}
+	mustPanicWhenChecked(t, "inversion after TryLock", func() {
+		outer.Lock()
+		outer.Unlock()
+	})
+	inner.Unlock()
+	outer.Lock()
+	outer.Unlock()
+}

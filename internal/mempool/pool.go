@@ -28,6 +28,8 @@ package mempool
 import (
 	"sync"
 	"sync/atomic"
+
+	"fastcc/internal/lockcheck"
 )
 
 // DefaultChunkLen is the number of elements per chunk when none is given.
@@ -114,6 +116,9 @@ type List[T any] struct {
 }
 
 // Concat builds a List from the pools' chunks without copying elements.
+//
+//fastcc:owned pools -- pointer movement IS the contract: the List takes over
+// the pools' chunks, and List.Release (or output recycling) hands them back
 func Concat[T any](pools ...*Pool[T]) *List[T] {
 	l := &List[T]{}
 	for _, p := range pools {
@@ -234,11 +239,19 @@ func (c *ChunkCache[T]) Release(l *List[T]) {
 // here between runs, keyed by their shape, so repeated contractions stop
 // reallocating tile-sized buffers.
 type Freelist[K comparable, V any] struct {
-	mu     sync.Mutex //fastcc:lockrank 3 -- leaf below the core lifecycle locks; park/vend only
+	mu     lockcheck.Mutex[freelistRank] //fastcc:lockrank 3 -- leaf below the core lifecycle locks; park/vend only
 	perKey int
 	items  map[K][]V
 	ck     checkedFreelist[K, V] // zero-sized unless built with fastcc_checked
 }
+
+// freelistRank pins Freelist.mu into the dynamic lock-rank hierarchy
+// (internal/lockcheck), mirroring the //fastcc:lockrank marker above for
+// fastcc_checked builds.
+type freelistRank struct{}
+
+func (freelistRank) LockRank() (int, bool) { return 3, false }
+func (freelistRank) RankLabel() string     { return "Freelist.mu" }
 
 // NewFreelist returns a free list keeping at most perKey parked values per
 // key (<= 0 selects 16).

@@ -231,7 +231,7 @@ func contractSharded(l, r *Sharded, o *options, linearize time.Duration) (*Tenso
 	for i, m := range r.ext {
 		rDims[i] = r.t.Dims[m]
 	}
-	result, ferr := coo.FromPairsP(ls, rs, vs, lDims, rDims, st.Threads)
+	result, ferr := coo.FromPairsP(ls, rs, vs, lDims, rDims, st.Threads) //fastcc:allow poolescapex -- FromPairsP wg.Wait-joins its delinearization goroutines before returning: ls/rs are borrowed for the call, not escaped
 	// FromPairsP copies everything it keeps; the triples and scratch can go
 	// straight back to their pools.
 	core.RecycleOutput(out)

@@ -1,0 +1,11 @@
+package batchlen
+
+import (
+	"testing"
+
+	"fastcc/tools/analysis/analysistest"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "hashtable", "accum", "batchlen")
+}

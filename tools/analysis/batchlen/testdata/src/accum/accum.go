@@ -1,0 +1,17 @@
+// Fixture model of internal/accum's batched scatter API.
+package accum
+
+type Match struct{ L, R []float64 }
+
+// Accumulator carries the interface route: batchlen matches the method by
+// its declaring package, so calls through the interface are checked too.
+type Accumulator interface {
+	ScatterMatches(ms []Match)
+}
+
+type Dense struct{ vals []float64 }
+
+func (d *Dense) ScatterMatches(ms []Match) {
+	for range ms {
+	}
+}

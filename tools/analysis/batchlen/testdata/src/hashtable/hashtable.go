@@ -1,0 +1,19 @@
+// Fixture model of internal/hashtable's batched probe API: batchlen keys on
+// the package name, the type name and the method signature, not the import
+// path, so this stand-in exercises the real matching logic.
+package hashtable
+
+// LookupBatchMax mirrors the real chunk bound.
+const LookupBatchMax = 16
+
+type Sealed struct{ keys []uint64 }
+
+// LookupBatch mirrors the real contract: out must have at least len(keys)
+// entries.
+func (s *Sealed) LookupBatch(keys []uint64, out []int32) (hits int) {
+	_ = out[:len(keys)]
+	for i := range keys {
+		out[i] = -1
+	}
+	return 0
+}

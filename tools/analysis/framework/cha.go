@@ -1,0 +1,114 @@
+// Class-hierarchy analysis: the interface half of the devirtualization
+// layer (pointsto.go is the function-value half). For an interface method
+// call x.M() the analysis returns the set of concrete methods M declared on
+// types in the loaded program whose method sets satisfy x's interface —
+// every callee the call can dispatch to, under the whole-program assumption
+// that the dynamic type of the interface value is declared in the program.
+//
+// That assumption is only sound for interfaces the program itself declares:
+// nothing outside the repo can import it, so a repo-declared interface (say
+// accum.Accumulator) can only be inhabited by repo-declared types flowing
+// through repo code. A standard-library interface (io.Writer, error) can be
+// inhabited by external types the loader never saw, so call sites on
+// interfaces declared outside the loaded packages stay Opaque — counted,
+// not guessed at (see CallStats).
+package framework
+
+import (
+	"go/types"
+	"sort"
+)
+
+// A CHA indexes the concrete named types of a program for interface method
+// resolution.
+type CHA struct {
+	// concrete lists every non-interface, non-generic named type declared in
+	// a loaded package, in deterministic package/name order.
+	concrete []*types.Named
+	// loaded marks the type-checked packages' type objects, the "declared in
+	// the program" gate for interfaces.
+	loaded map[*types.Package]bool
+}
+
+// buildCHA walks every loaded package scope once.
+func buildCHA(pkgs []*Package) *CHA {
+	c := &CHA{loaded: map[*types.Package]bool{}}
+	for _, pkg := range pkgs {
+		if pkg.Pkg == nil {
+			continue
+		}
+		c.loaded[pkg.Pkg] = true
+		scope := pkg.Pkg.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				continue
+			}
+			if named.TypeParams().Len() > 0 {
+				// Generic types would need per-instantiation method objects;
+				// calls through interfaces they implement stay opaque.
+				continue
+			}
+			c.concrete = append(c.concrete, named)
+		}
+	}
+	return c
+}
+
+// ProgramInterface reports whether the (named) interface type is declared
+// in a loaded package — the precondition for sound devirtualization.
+func (c *CHA) ProgramInterface(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && c.loaded[obj.Pkg()]
+}
+
+// Implementations resolves a method call on the given interface type to the
+// concrete methods implementing it in the program. The boolean reports
+// whether the set is trustworthy: the interface must be program-declared
+// and every implementing type's method must resolve to a declared function
+// object (a method promoted from an embedded export-only type would not).
+func (c *CHA) Implementations(t types.Type, method string) ([]*types.Func, bool) {
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return nil, false
+	}
+	if !c.ProgramInterface(t) {
+		return nil, false
+	}
+	complete := true
+	var fns []*types.Func
+	seen := map[*types.Func]bool{}
+	for _, named := range c.concrete {
+		// The pointer method set is the superset; a T whose *T implements
+		// the interface can still be the dynamic type behind a *T value.
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), method)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			complete = false
+			continue
+		}
+		fn = fn.Origin()
+		if !seen[fn] {
+			seen[fn] = true
+			fns = append(fns, fn)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	return fns, complete
+}

@@ -34,6 +34,7 @@ type listPackage struct {
 	Name       string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 	Incomplete bool
@@ -88,6 +89,37 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
+	// Type-check pattern packages in dependency order so each one imports
+	// its in-pattern dependencies as the SAME *types.Package that was checked
+	// from source, not a parallel export-data universe. Object identity
+	// across packages is what lets the call graph link a cross-package call
+	// to the callee's declaration — and the devirtualizer match interface
+	// and func-value objects program-wide. Export data still supplies
+	// everything outside the pattern (stdlib).
+	targetSet := map[string]*listPackage{}
+	for _, lp := range targets {
+		targetSet[lp.ImportPath] = lp
+	}
+	ordered := make([]*listPackage, 0, len(targets))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(lp *listPackage)
+	visit = func(lp *listPackage) {
+		if state[lp.ImportPath] != 0 {
+			return // done, or a cycle go list would have rejected
+		}
+		state[lp.ImportPath] = 1
+		for _, dep := range lp.Imports {
+			if t, ok := targetSet[dep]; ok {
+				visit(t)
+			}
+		}
+		state[lp.ImportPath] = 2
+		ordered = append(ordered, lp)
+	}
+	for _, lp := range targets {
+		visit(lp)
+	}
+
 	fset := token.NewFileSet()
 	lookup := func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
@@ -96,10 +128,14 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		}
 		return os.Open(f)
 	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
+	checked := map[string]*types.Package{}
+	imp := &sourceFirstImporter{
+		checked:  checked,
+		fallback: importer.ForCompiler(fset, "gc", lookup),
+	}
 
 	var pkgs []*Package
-	for _, lp := range targets {
+	for _, lp := range ordered {
 		if len(lp.GoFiles) == 0 {
 			continue
 		}
@@ -121,6 +157,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("framework: type-checking %s: %w", lp.ImportPath, err)
 		}
+		checked[lp.ImportPath] = pkg
 		pkgs = append(pkgs, &Package{
 			ImportPath: lp.ImportPath,
 			Dir:        lp.Dir,
@@ -130,7 +167,24 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			TypesInfo:  info,
 		})
 	}
+	// Callers expect pattern order (alphabetical), not check order.
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
 	return pkgs, nil
+}
+
+// sourceFirstImporter resolves imports to already source-checked pattern
+// packages by identity, falling back to compiled export data for everything
+// else (the standard library, out-of-pattern dependencies).
+type sourceFirstImporter struct {
+	checked  map[string]*types.Package
+	fallback types.Importer
+}
+
+func (imp *sourceFirstImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := imp.checked[path]; ok {
+		return pkg, nil
+	}
+	return imp.fallback.Import(path)
 }
 
 // NewTypesInfo returns a types.Info with every map analyzers rely on.
@@ -151,6 +205,14 @@ func NewTypesInfo() *types.Info {
 // once over a Program wrapping every package, with suppressions merged
 // across all of them.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	return RunAnalyzersOn(NewProgram(pkgs), analyzers)
+}
+
+// RunAnalyzersOn is RunAnalyzers over a caller-built Program, letting the
+// driver share one call graph between the analyzer run and -stats reporting
+// instead of building it twice.
+func RunAnalyzersOn(prog *Program, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	pkgs := prog.Pkgs
 	var diags []Diagnostic
 	var fset *token.FileSet
 	var programAnalyzers []*Analyzer
@@ -184,7 +246,6 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *token.
 		}
 	}
 	if len(programAnalyzers) > 0 && len(pkgs) > 0 {
-		prog := NewProgram(pkgs)
 		var allFiles []*ast.File
 		for _, pkg := range pkgs {
 			allFiles = append(allFiles, pkg.Files...)

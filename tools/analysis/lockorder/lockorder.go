@@ -97,11 +97,12 @@ func run(pass *framework.ProgramPass) error {
 				}
 			}
 			for _, site := range node.Calls {
-				if site.Callee == nil {
-					continue
-				}
-				for obj := range c.acquires[site.Callee] {
-					acq[obj] = true
+				// A devirtualized site may acquire whatever ANY member of its
+				// may-call set acquires.
+				for _, callee := range site.Callees {
+					for obj := range c.acquires[callee] {
+						acq[obj] = true
+					}
 				}
 			}
 			if len(acq) > before {
@@ -248,10 +249,13 @@ func (c *checker) checkNode(node *framework.FuncNode) {
 	// does need no CFG.
 	touches := len(c.lockOps(node, node.Body)) > 0
 	if !touches {
+	scan:
 		for _, site := range node.Calls {
-			if site.Callee != nil && len(c.acquires[site.Callee]) > 0 {
-				touches = true
-				break
+			for _, callee := range site.Callees {
+				if len(c.acquires[callee]) > 0 {
+					touches = true
+					break scan
+				}
 			}
 		}
 	}
@@ -329,10 +333,10 @@ func (c *checker) checkCalls(node *framework.FuncNode, stmt ast.Stmt, held heldS
 	if len(held) == 0 {
 		return
 	}
-	calls := map[*ast.CallExpr]*framework.FuncNode{}
+	calls := map[*ast.CallExpr][]*framework.FuncNode{}
 	for _, site := range node.Calls {
-		if site.Callee != nil {
-			calls[site.Call] = site.Callee
+		if len(site.Callees) > 0 {
+			calls[site.Call] = site.Callees
 		}
 	}
 	ast.Inspect(stmt, func(x ast.Node) bool {
@@ -343,17 +347,20 @@ func (c *checker) checkCalls(node *framework.FuncNode, stmt ast.Stmt, held heldS
 		if !ok {
 			return true
 		}
-		callee := calls[call]
-		if callee == nil {
-			return true
-		}
-		for obj := range c.acquires[callee] {
-			// The callee may acquire obj while we hold `held`: the nesting
-			// exists even though the Lock is out of line.
-			c.checkAcquire(node, held, obj, call.Pos(), " (via call to "+callee.Name()+")", reported)
+		for _, callee := range calls[call] {
+			c.checkCallee(node, call, callee, held, reported)
 		}
 		return true
 	})
+}
+
+// checkCallee checks one resolved callee of one call against held.
+func (c *checker) checkCallee(node *framework.FuncNode, call *ast.CallExpr, callee *framework.FuncNode, held heldSet, reported map[string]bool) {
+	for obj := range c.acquires[callee] {
+		// The callee may acquire obj while we hold `held`: the nesting
+		// exists even though the Lock is out of line.
+		c.checkAcquire(node, held, obj, call.Pos(), " (via call to "+callee.Name()+")", reported)
+	}
 }
 
 // checkAcquire reports every held lock that forbids acquiring m.

@@ -97,8 +97,16 @@ func run(pass *framework.ProgramPass) error {
 	c := &checker{
 		pass:      pass,
 		graph:     graph,
-		summaries: map[*types.Func]map[int]string{},
+		summaries: map[*framework.FuncNode]map[int]string{},
+		sites:     map[*ast.CallExpr][]*framework.FuncNode{},
 		exemptLit: map[*ast.FuncLit]bool{},
+	}
+	for _, node := range graph.Nodes {
+		for _, site := range node.Calls {
+			if len(site.Callees) > 0 {
+				c.sites[site.Call] = site.Callees
+			}
+		}
 	}
 
 	var allFiles []*ast.File
@@ -127,12 +135,43 @@ func run(pass *framework.ProgramPass) error {
 type checker struct {
 	pass  *framework.ProgramPass
 	graph *framework.CallGraph
-	// summaries maps declared functions to the result indices they return
-	// still-acquired, with the bracket kind.
-	summaries map[*types.Func]map[int]string
+	// summaries maps function nodes (declarations and literals alike) to the
+	// result indices they return still-acquired, with the bracket kind.
+	summaries map[*framework.FuncNode]map[int]string
+	// sites maps every call expression to its may-call set from the
+	// devirtualized graph — the summary lookups below go through it, so a
+	// pin-returning function reached through a func value or interface still
+	// imposes the obligation on the caller. CallExpr nodes are unique across
+	// the program, so one global map serves every function.
+	sites map[*ast.CallExpr][]*framework.FuncNode
 	// exemptLit marks Acquire/Release literals of checked Guard values.
 	exemptLit map[*ast.FuncLit]bool
 	owned     map[string]map[int]bool
+}
+
+// calleeSummaries merges the pin summaries of every function the call may
+// reach. Merging over-approximates for multi-callee sites: if ANY possible
+// callee returns a result still pinned, the caller owes the release.
+func (c *checker) calleeSummaries(call *ast.CallExpr) map[int]string {
+	callees := c.sites[call]
+	if len(callees) == 0 {
+		return nil
+	}
+	if len(callees) == 1 {
+		return c.summaries[callees[0]]
+	}
+	var merged map[int]string
+	for _, callee := range callees {
+		for idx, kind := range c.summaries[callee] {
+			if merged == nil {
+				merged = map[int]string{}
+			}
+			if _, ok := merged[idx]; !ok {
+				merged[idx] = kind
+			}
+		}
+	}
+	return merged
 }
 
 // matchCall resolves a method call against a spec table, returning the spec
@@ -142,13 +181,19 @@ func matchCall(info *types.Info, call *ast.CallExpr, specs []protoSpec) (*protoS
 	if !ok {
 		return nil, nil
 	}
+	return matchSelector(info, sel, specs), sel
+}
+
+// matchSelector resolves a method selection — called or taken as a method
+// value — against a spec table.
+func matchSelector(info *types.Info, sel *ast.SelectorExpr, specs []protoSpec) *protoSpec {
 	fn, ok := info.Uses[sel.Sel].(*types.Func)
 	if !ok {
-		return nil, nil
+		return nil
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
-		return nil, nil
+		return nil
 	}
 	recv := sig.Recv().Type()
 	if ptr, ok := recv.(*types.Pointer); ok {
@@ -156,19 +201,19 @@ func matchCall(info *types.Info, call *ast.CallExpr, specs []protoSpec) (*protoS
 	}
 	named, ok := recv.(*types.Named)
 	if !ok {
-		return nil, nil
+		return nil
 	}
 	obj := named.Obj()
 	if obj.Pkg() == nil {
-		return nil, nil
+		return nil
 	}
 	for i := range specs {
 		s := &specs[i]
 		if s.method == sel.Sel.Name && s.typ == obj.Name() && s.pkg == obj.Pkg().Name() {
-			return s, sel
+			return s
 		}
 	}
-	return nil, nil
+	return nil
 }
 
 // exprVar resolves a simple expression to a local variable object; anything
@@ -263,12 +308,19 @@ func (c *checker) checkNode(node *framework.FuncNode) {
 	}
 	local := func(v *types.Var) bool { return v != nil && lo <= v.Pos() && v.Pos() < hi }
 
+	// Method values bound from release methods (rel := g.release): a later
+	// `defer rel()` is a deferred release of the bound receiver, not an
+	// unrelated indirect call. The scan is flow-insensitive — rebinding a
+	// release method value mid-function would over-register, a shape the
+	// codebase does not use and the fixtures document.
+	deferTargets := collectReleaseBinds(info, node.Body)
+
 	cfg := framework.BuildCFG(node.Body)
 	flow := &framework.Flow[bracketState]{
 		CFG:  cfg,
 		Init: newState(),
 		Transfer: func(n *framework.CFGNode, in bracketState) bracketState {
-			return c.transfer(info, n.Stmt, in, local, note)
+			return c.transfer(info, n.Stmt, in, local, note, deferTargets)
 		},
 		Refine: func(e framework.CFGEdge, out bracketState) bracketState {
 			return c.refine(info, e.Cond, e.Branch, out)
@@ -325,7 +377,7 @@ func (c *checker) touchesProtocol(node *framework.FuncNode) bool {
 			found = true
 		} else if s, _ := matchCall(info, call, releaseSpecs); s != nil {
 			found = true
-		} else if fn := framework.CalleeFunc(info, call); fn != nil && len(c.summaries[fn]) > 0 {
+		} else if len(c.calleeSummaries(call)) > 0 {
 			found = true
 		}
 		return !found
@@ -333,8 +385,45 @@ func (c *checker) touchesProtocol(node *framework.FuncNode) bool {
 	return found
 }
 
+// releaseBind records a method value bound from a release method: the spec
+// it matched and the receiver it will release when called.
+type releaseBind struct {
+	spec *protoSpec
+	recv *types.Var
+}
+
+// collectReleaseBinds finds rel := recv.Release-shaped method-value
+// bindings of protocol release methods in the body.
+func collectReleaseBinds(info *types.Info, body *ast.BlockStmt) map[*types.Var]releaseBind {
+	out := map[*types.Var]releaseBind{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			sel, ok := ast.Unparen(rhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if s := info.Selections[sel]; s == nil || s.Kind() != types.MethodVal {
+				continue
+			}
+			spec := matchSelector(info, sel, releaseSpecs)
+			if spec == nil {
+				continue
+			}
+			if v := exprVar(info, as.Lhs[i]); v != nil {
+				out[v] = releaseBind{spec: spec, recv: exprVar(info, sel.X)}
+			}
+		}
+		return true
+	})
+	return out
+}
+
 // transfer applies one shallow statement to the state.
-func (c *checker) transfer(info *types.Info, stmt ast.Stmt, s bracketState, local func(*types.Var) bool, note func(*types.Var, token.Pos, string)) bracketState {
+func (c *checker) transfer(info *types.Info, stmt ast.Stmt, s bracketState, local func(*types.Var) bool, note func(*types.Var, token.Pos, string), deferTargets map[*types.Var]releaseBind) bracketState {
 	switch stmt := stmt.(type) {
 	case nil:
 		return s
@@ -347,18 +436,16 @@ func (c *checker) transfer(info *types.Info, stmt ast.Stmt, s bracketState, loca
 					c.applyAcquireBind(info, spec, sel, call, stmt.Lhs, s, local, note)
 					return s
 				}
-				if fn := framework.CalleeFunc(info, call); fn != nil {
-					if pinned := c.summaries[fn]; len(pinned) > 0 {
-						for idx, kind := range pinned {
-							if idx < len(stmt.Lhs) {
-								if v := exprVar(info, stmt.Lhs[idx]); local(v) {
-									bump(s.count, v)
-									note(v, call.Pos(), kind)
-								}
+				if pinned := c.calleeSummaries(call); len(pinned) > 0 {
+					for idx, kind := range pinned {
+						if idx < len(stmt.Lhs) {
+							if v := exprVar(info, stmt.Lhs[idx]); local(v) {
+								bump(s.count, v)
+								note(v, call.Pos(), kind)
 							}
 						}
-						return s
 					}
+					return s
 				}
 			}
 		}
@@ -425,7 +512,7 @@ func (c *checker) transfer(info *types.Info, stmt ast.Stmt, s bracketState, loca
 		return s
 
 	case *ast.DeferStmt:
-		c.applyDefer(info, stmt.Call, s)
+		c.applyDefer(info, stmt.Call, s, deferTargets)
 		return s
 
 	case *ast.GoStmt:
@@ -485,11 +572,28 @@ func (c *checker) applyAcquireBind(info *types.Info, spec *protoSpec, sel *ast.S
 	}
 }
 
-// applyDefer registers deferred releases: a direct protocol release, or a
-// function literal containing them. A deferred non-protocol call that
+// applyDefer registers deferred releases: a direct protocol release, a call
+// through a method value bound from one (rel := g.release; defer rel()), or
+// a function literal containing them. A deferred non-protocol call that
 // receives a tracked resource is treated as its release — the idiom is a
 // cleanup helper, and reporting it would punish extraction.
-func (c *checker) applyDefer(info *types.Info, call *ast.CallExpr, s bracketState) {
+func (c *checker) applyDefer(info *types.Info, call *ast.CallExpr, s bracketState, deferTargets map[*types.Var]releaseBind) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if fv, _ := info.Uses[id].(*types.Var); fv != nil {
+			if bind, ok := deferTargets[fv]; ok {
+				var v *types.Var
+				if bind.spec.target < 0 {
+					v = bind.recv
+				} else if bind.spec.target < len(call.Args) {
+					v = exprVar(info, call.Args[bind.spec.target])
+				}
+				if v != nil {
+					s.deferred[v]++
+				}
+				return
+			}
+		}
+	}
 	if spec, sel := matchCall(info, call, releaseSpecs); spec != nil {
 		var v *types.Var
 		if spec.target < 0 {
@@ -635,16 +739,14 @@ func (c *checker) buildSummaries() {
 	for changed := true; changed; {
 		changed = false
 		for _, node := range c.graph.Nodes {
-			if node.Decl == nil || node.Body == nil || node.Pkg.Pkg.Name() == "mempool" {
-				continue
-			}
-			obj := node.Obj
-			if obj == nil {
+			// Literals summarize too: a closure returning a pinned shard
+			// imposes the obligation on whoever calls it through a func value.
+			if node.Body == nil || node.Pkg.Pkg.Name() == "mempool" {
 				continue
 			}
 			pinned := c.summarizeNode(node)
-			if len(pinned) > len(c.summaries[obj]) {
-				c.summaries[obj] = pinned
+			if len(pinned) > len(c.summaries[node]) {
+				c.summaries[node] = pinned
 				changed = true
 			}
 		}
@@ -698,8 +800,8 @@ func (c *checker) summarizeNode(node *framework.FuncNode) map[int]string {
 			if v != nil {
 				acquired[v] = spec.kind
 			}
-		} else if fn := framework.CalleeFunc(info, call); fn != nil {
-			for idx, kind := range c.summaries[fn] {
+		} else {
+			for idx, kind := range c.calleeSummaries(call) {
 				if idx < len(as.Lhs) {
 					if v := exprVar(info, as.Lhs[idx]); v != nil {
 						acquired[v] = kind
@@ -738,8 +840,8 @@ func (c *checker) summarizeNode(node *framework.FuncNode) map[int]string {
 				// direct protocol acquire).
 				if spec, _ := matchCall(info, call, acquireSpecs); spec != nil && spec.result >= 0 && spec.condResult < 0 {
 					pinned[spec.result] = spec.kind
-				} else if fn := framework.CalleeFunc(info, call); fn != nil {
-					for idx, kind := range c.summaries[fn] {
+				} else {
+					for idx, kind := range c.calleeSummaries(call) {
 						pinned[idx] = kind
 					}
 				}

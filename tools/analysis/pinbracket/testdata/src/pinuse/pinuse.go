@@ -123,3 +123,43 @@ func sliceDeferred() {
 	defer sp.Put(buf)
 	_ = append(buf, 1)
 }
+
+// methodValueDefer binds the release as a method value and defers calling
+// it — the engine's `rel := g.release; defer rel()` idiom. The defer-site
+// classification keeps the two statements straight: binding s.Unpin is not
+// a call, and the deferred `unpin()` is an indirect call resolved back to
+// the bound receiver's Unpin, so this is the idiomatic bracket, not a leak.
+func methodValueDefer(o *core.Operand) {
+	s, _ := o.Shard(core.ShardKey{}, 1)
+	unpin := s.Unpin
+	defer unpin()
+	use(s)
+}
+
+// methodValueDeferBranches re-checks the bind on a function with real
+// control flow: the deferred bound release must cover every path.
+func methodValueDeferBranches(ctx context.Context, o *core.Operand) error {
+	s, _ := o.Shard(core.ShardKey{}, 1)
+	unpin := s.Unpin
+	defer unpin()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	use(s)
+	return nil
+}
+
+// methodValueNeverDeferred binds the release but only calls it on the happy
+// path: the bind itself must not count as a release, so the pin still
+// leaks on the error return.
+func methodValueNeverDeferred(o *core.Operand, fail bool) error {
+	s, _ := o.Shard(core.ShardKey{}, 1) // want `shard pin "s" acquired here may not be released on every path`
+	if fail {
+		return errors.New("build failed")
+	}
+	s.Unpin()
+	_ = s.Unpin // a dangling method value is not a release either
+	return nil
+}

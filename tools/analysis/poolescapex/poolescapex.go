@@ -121,33 +121,34 @@ func run(pass *framework.ProgramPass) error {
 		}
 		info := node.Pkg.TypesInfo
 		for _, site := range node.Calls {
-			callee := site.Callee
-			if callee == nil {
-				continue // unresolved or no source: out of scope by design
-			}
-			esc := s.summaries[callee]
-			if len(esc) == 0 {
-				continue
-			}
-			for i, arg := range site.Call.Args {
-				if !poolescape.IsPooled(info, tracked, arg) || !carriesRef(info.TypeOf(arg)) {
+			// Devirtualized sites contribute every member of the may-call
+			// set: an argument escaping through ANY possible callee is a
+			// finding. Opaque sites stay out of scope by design.
+			for _, callee := range site.Callees {
+				esc := s.summaries[callee]
+				if len(esc) == 0 {
 					continue
 				}
-				pi := paramIndexForArg(s.params[callee], i)
-				how, escapes := esc[pi]
-				if !escapes || s.owned[callee][pi] {
-					continue
+				for i, arg := range site.Call.Args {
+					if !poolescape.IsPooled(info, tracked, arg) || !carriesRef(info.TypeOf(arg)) {
+						continue
+					}
+					pi := paramIndexForArg(s.params[callee], i)
+					how, escapes := esc[pi]
+					if !escapes || s.owned[callee][pi] {
+						continue
+					}
+					if framework.MarkedAt(pass.Program.Fset, ownedLines, arg.Pos()) {
+						continue
+					}
+					pname := "?"
+					if pi >= 0 && pi < len(s.params[callee]) && s.params[callee][pi] != nil {
+						pname = s.params[callee][pi].Name()
+					}
+					pass.Reportf(arg.Pos(),
+						"pool-obtained memory passed to %s escapes via parameter %s (%s); copy it out, annotate the call //fastcc:owned, or mark the parameter //fastcc:owned on %s if the transfer is the contract",
+						callee.Name(), pname, how, callee.Name())
 				}
-				if framework.MarkedAt(pass.Program.Fset, ownedLines, arg.Pos()) {
-					continue
-				}
-				pname := "?"
-				if pi >= 0 && pi < len(s.params[callee]) && s.params[callee][pi] != nil {
-					pname = s.params[callee][pi].Name()
-				}
-				pass.Reportf(arg.Pos(),
-					"pool-obtained memory passed to %s escapes via parameter %s (%s); copy it out, annotate the call //fastcc:owned, or mark the parameter //fastcc:owned on %s if the transfer is the contract",
-					callee.Name(), pname, how, callee.Name())
 			}
 		}
 	}
@@ -257,24 +258,24 @@ func (s *summarizer) summarize(node *framework.FuncNode) bool {
 		return true
 	})
 
-	// Transitive escapes through callees (the two-hop case).
+	// Transitive escapes through callees (the two-hop case). Every member of
+	// a devirtualized site's may-call set contributes: the summary must hold
+	// for whichever callee the dynamic dispatch picks.
 	for _, site := range node.Calls {
-		callee := site.Callee
-		if callee == nil {
-			continue
-		}
-		calleeEsc := s.summaries[callee]
-		if len(calleeEsc) == 0 {
-			continue
-		}
-		for i, arg := range site.Call.Args {
-			pi, ok := rootParam(info, aliases, arg)
-			if !ok || !carriesRef(info.TypeOf(arg)) {
+		for _, callee := range site.Callees {
+			calleeEsc := s.summaries[callee]
+			if len(calleeEsc) == 0 {
 				continue
 			}
-			cpi := paramIndexForArg(s.params[callee], i)
-			if how, escapes := calleeEsc[cpi]; escapes && !s.owned[callee][cpi] {
-				mark(esc, pi, "passed to "+callee.Name()+", which escapes it ("+how+")")
+			for i, arg := range site.Call.Args {
+				pi, ok := rootParam(info, aliases, arg)
+				if !ok || !carriesRef(info.TypeOf(arg)) {
+					continue
+				}
+				cpi := paramIndexForArg(s.params[callee], i)
+				if how, escapes := calleeEsc[cpi]; escapes && !s.owned[callee][cpi] {
+					mark(esc, pi, "passed to "+callee.Name()+", which escapes it ("+how+")")
+				}
 			}
 		}
 	}

@@ -7,5 +7,5 @@ import (
 )
 
 func Test(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), Analyzer, "mempool", "sink", "poolx")
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "mempool", "sink", "poolx", "devirtx")
 }
