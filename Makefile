@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test test-checked race vet vet-self test-lifecycle fuzz-smoke bench-smoke bench-reuse bench-buildscale bench-hotpath bench-hotpath-smoke serve-smoke ci
+.PHONY: build test test-checked race vet vet-self test-lifecycle test-spill fuzz-smoke bench-smoke bench-reuse bench-buildscale bench-hotpath bench-hotpath-smoke bench-spill bench-spill-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,18 @@ test-lifecycle:
 	$(GO) test -tags fastcc_checked -short -run 'TestLifecycleStress|TestPreparedDrop' .
 	$(GO) test -tags fastcc_checked -short ./internal/core -run 'TestShard|TestEviction|TestClose|TestWarm|TestCache|TestUnpinned'
 
+# Disk-tier gate: the spill round-trip, fault-injection and adoption suites
+# under the race detector, then again under the sanitizer build so a reader
+# that keeps a shard reference across a spill hits the mid-spill generation
+# panic instead of silently reading reclaimed tables (see DESIGN.md,
+# "Tiered storage: spill files & residency").
+test-spill:
+	$(GO) test -race -short ./internal/spill
+	$(GO) test -race -short ./internal/core -run 'TestSpill'
+	$(GO) test -race -short ./internal/server -run 'TestServerSoakSpillChurn'
+	$(GO) test -tags fastcc_checked -short ./internal/spill
+	$(GO) test -tags fastcc_checked -short ./internal/core -run 'TestSpill|TestSpilledShardGenerationCheck'
+
 # Short fuzz of every existing Fuzz* target; go test -fuzz takes one
 # target per package per invocation. The contraction fuzzer runs a second
 # time under fastcc_checked so random tilings also exercise the poison and
@@ -113,6 +125,20 @@ bench-hotpath-smoke:
 	$(GO) run ./cmd/fastcc-bench -exp hotpath -suite qc -scale-qc 0.02 -repeats 1 -threads 2 -platform desktop8 > /dev/null
 	$(GO) test ./internal/experiments -run 'TestRunHotpathEmitsValidJSON|TestBenchHotpathArtifact'
 
+# Regenerate the checked-in BENCH_spill.json: evict-then-contract timed with
+# the disk tier off (rebuild) and on (re-pin from the spill file) on the
+# FROSTT suite. The experiment errors if any re-pin leg missed the disk
+# cache or degraded through a spill fallback.
+bench-spill:
+	$(GO) run ./cmd/fastcc-bench -exp spill -scale-frostt 0.002 -repeats 7 -platform desktop8 > BENCH_spill.json
+
+# Tiny-scale disk-tier smoke: one evict/spill/re-pin pass per FROSTT case —
+# RunSpill errors on any fallback or missed reload — plus the schema check
+# over the checked-in BENCH_spill.json.
+bench-spill-smoke:
+	$(GO) run ./cmd/fastcc-bench -exp spill -scale-frostt 0.0005 -repeats 1 -threads 2 -platform desktop8 > /dev/null
+	$(GO) test ./internal/experiments -run 'TestRunSpillEmitsValidJSON|TestBenchSpillArtifact'
+
 # End-to-end daemon gate: build fastcc-serve and fastcc-client, start the
 # daemon on a free port with a deliberately small cache budget and tenant
 # quota, run the scripted upload -> contract -> fetch round-trip (results
@@ -123,4 +149,4 @@ serve-smoke:
 	$(GO) build -o bin/fastcc-client ./cmd/fastcc-client
 	sh tools/serve_smoke.sh bin
 
-ci: build vet vet-self test test-checked race test-lifecycle fuzz-smoke bench-smoke bench-hotpath-smoke serve-smoke
+ci: build vet vet-self test test-checked race test-lifecycle test-spill fuzz-smoke bench-smoke bench-hotpath-smoke bench-spill-smoke serve-smoke

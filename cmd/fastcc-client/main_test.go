@@ -15,7 +15,10 @@ import (
 // what fastcc-serve runs.
 func newBackend(t *testing.T) string {
 	t.Helper()
-	srv := server.New(server.Config{Threads: 2})
+	srv, err := server.New(server.Config{Threads: 2})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		hs.Close()

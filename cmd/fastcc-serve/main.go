@@ -44,15 +44,18 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	fs := flag.NewFlagSet("fastcc-serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr        = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
-		addrFile    = fs.String("addr-file", "", "write the bound address to this file once listening")
-		inflight    = fs.Int("inflight", 2, "max concurrent contractions")
-		queue       = fs.Int("queue", 16, "max queued contractions behind the in-flight bound (-1 = none)")
-		cacheBudget = fs.Int64("cache-budget", 0, "shard-cache budget in bytes (0 = platform default, -1 = unbounded)")
-		tenantQuota = fs.Int64("tenant-quota", 0, "per-tenant shard-cache quota in bytes (0 = none)")
-		uploadQuota = fs.Int64("upload-quota", 0, "per-tenant registry quota in estimated operand bytes (0 = none)")
-		threads     = fs.Int("threads", 0, "worker threads per contraction (0 = all cores)")
-		timeout     = fs.Duration("timeout", 60*time.Second, "per-request contraction deadline")
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+		addrFile     = fs.String("addr-file", "", "write the bound address to this file once listening")
+		inflight     = fs.Int("inflight", 2, "max concurrent contractions")
+		queue        = fs.Int("queue", 16, "max queued contractions behind the in-flight bound (-1 = none)")
+		cacheBudget  = fs.Int64("cache-budget", 0, "shard-cache budget in bytes (0 = platform default, -1 = unbounded)")
+		tenantQuota  = fs.Int64("tenant-quota", 0, "per-tenant shard-cache quota in bytes (0 = none)")
+		uploadQuota  = fs.Int64("upload-quota", 0, "per-tenant registry quota in estimated operand bytes (0 = none)")
+		threads      = fs.Int("threads", 0, "worker threads per contraction (0 = all cores)")
+		timeout      = fs.Duration("timeout", 60*time.Second, "per-request contraction deadline")
+		spillDir     = fs.String("spill-dir", "", "spill directory for the shard cache's disk tier (empty = disabled)")
+		spillBudget  = fs.Int64("spill-budget", 0, "spill directory byte budget (0 = unbounded)")
+		spillPersist = fs.Bool("spill-persist", false, "keep spill files across restarts so the next daemon adopts them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,15 +64,21 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
-	srv := server.New(server.Config{
-		Threads:     *threads,
-		CacheBudget: *cacheBudget,
-		TenantQuota: *tenantQuota,
-		UploadQuota: *uploadQuota,
-		Inflight:    *inflight,
-		Queue:       *queue,
-		Timeout:     *timeout,
+	srv, err := server.New(server.Config{
+		Threads:      *threads,
+		CacheBudget:  *cacheBudget,
+		TenantQuota:  *tenantQuota,
+		UploadQuota:  *uploadQuota,
+		Inflight:     *inflight,
+		Queue:        *queue,
+		Timeout:      *timeout,
+		SpillDir:     *spillDir,
+		SpillBudget:  *spillBudget,
+		SpillPersist: *spillPersist,
 	})
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

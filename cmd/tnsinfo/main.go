@@ -4,8 +4,11 @@
 // contraction — the probabilistic model's accumulator choice and tile size
 // (paper Algorithm 7) on each platform profile.
 //
+// It also dumps shard-cache spill files (the disk tier's .fspl envelopes):
+//
 //	tnsinfo -in chicago.tns
 //	tnsinfo -in chicago.tns -ctr 0 -platform desktop8
+//	tnsinfo -spill cache/ab12cd-m1-t64-r0.fspl
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"fastcc/internal/coo"
 	"fastcc/internal/hicoo"
 	"fastcc/internal/model"
+	"fastcc/internal/spill"
+	"fastcc/internal/tnsbin"
 )
 
 func main() {
@@ -33,17 +38,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("tnsinfo", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in        = fs.String("in", "", "tensor file (.tns, .btns, optionally .gz) (required)")
+		in        = fs.String("in", "", "tensor file (.tns, .btns, optionally .gz)")
 		ctr       = fs.String("ctr", "", "comma-separated modes of a candidate self-contraction")
 		platform  = fs.String("platform", "auto", "model platform: auto, desktop8 or server64")
 		blockBits = fs.Uint("block-bits", 7, "HiCOO block bits for the clustering report (0 to skip)")
+		spillFile = fs.String("spill", "", "shard-cache spill file (.fspl) to dump instead of a tensor")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *spillFile != "" {
+		return dumpSpill(*spillFile, stdout)
+	}
 	if *in == "" {
 		fs.Usage()
-		return fmt.Errorf("-in is required")
+		return fmt.Errorf("-in or -spill is required")
 	}
 	t, err := fastcc.LoadTNS(*in)
 	if err != nil {
@@ -146,5 +155,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "  expected output nnz ≈ %.4g (of %.4g positions)\n",
 			dec.PNonzero*float64(lSize)*float64(lSize), float64(lSize)*float64(lSize))
 	}
+	return nil
+}
+
+// dumpSpill prints a spill file's envelope (version, generation stamp,
+// size) and verifies the whole-file CRC-32 trailer, reporting corruption as
+// the same typed causes the shard cache's fallback counters use.
+func dumpSpill(path string, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	h, err := spill.ParseHeader(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(stdout, "file:       %s\n", path)
+	fmt.Fprintf(stdout, "format:     fspl v%d (shard-cache spill envelope)\n", h.Version)
+	fmt.Fprintf(stdout, "generation: %d\n", h.Gen)
+	fmt.Fprintf(stdout, "size:       %d bytes (%d body, 4 checksum trailer)\n",
+		h.Size, int64(len(data))-spill.EnvelopeBytes)
+	if _, err := tnsbin.NewSectionReader(data); err != nil {
+		fmt.Fprintf(stdout, "checksum:   BAD (%v)\n", err)
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(stdout, "checksum:   ok\n")
 	return nil
 }

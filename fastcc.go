@@ -166,6 +166,8 @@ type options struct {
 	shardBudget  int64
 	tenant       string
 	tenantSet    bool
+	spillDir     string
+	spillBudget  int64
 }
 
 // resolveOptions applies the options in order and validates the combination
@@ -236,6 +238,12 @@ func (o *options) validate() error {
 		if err := validTenant(o.tenant); err != nil {
 			return fmt.Errorf("%w: WithTenant(%q): %v", ErrBadOption, o.tenant, err)
 		}
+	}
+	if o.spillBudget < 0 {
+		return fmt.Errorf("%w: WithSpillBudget(%d) is negative (0 means unbounded)", ErrBadOption, o.spillBudget)
+	}
+	if o.spillBudget > 0 && o.spillDir == "" {
+		return fmt.Errorf("%w: WithSpillBudget needs WithSpillDir on the same run", ErrBadOption)
 	}
 	return nil
 }
@@ -312,6 +320,46 @@ func WithContext(ctx context.Context) Option { return func(o *options) { o.ctx =
 // start of the run carrying this option and stays in force until another run
 // sets a different one.
 func WithShardBudget(bytes int64) Option { return func(o *options) { o.shardBudget = bytes } }
+
+// WithSpillDir enables the shard cache's disk tier for this run and every
+// later one: when the byte budget (WithShardBudget) or a tenant quota evicts
+// a cold shard, its tables are serialized into a compact checksummed file
+// under dir instead of being thrown away, and the next contraction needing
+// that shard reads the file back — skipping the full re-linearize + re-hash
+// rebuild. Every way a read-back can go wrong (missing file, truncation,
+// checksum mismatch, stale generation stamp) degrades to a plain rebuild
+// with a typed fault counter, never a wrong answer.
+//
+// Like WithShardBudget the setting is process-wide and sticky: it takes
+// effect at the start of the run carrying the option and stays in force
+// until ConfigureSpill changes it. Files are deleted as their shards reload
+// or drop; use ConfigureSpill with persist=true for a warm-restart cache
+// that outlives the process.
+func WithSpillDir(dir string) Option { return func(o *options) { o.spillDir = dir } }
+
+// WithSpillBudget bounds the spill directory's on-disk bytes; the directory
+// makes room oldest-first, and a write that still cannot fit falls back to
+// plain eviction. Zero (the default) means unbounded. Requires WithSpillDir
+// on the same run.
+func WithSpillBudget(bytes int64) Option { return func(o *options) { o.spillBudget = bytes } }
+
+// ConfigureSpill sets the process-wide spill tier directly: dir enables
+// spill-to-disk for shard-cache evictions (empty string disables it),
+// budget bounds the directory's bytes (<= 0 unbounded), and persist selects
+// keep-mode — reloaded or dropped shards leave their files on disk as
+// adoptable orphans, so a restarted process pointed at the same directory
+// warms its cache from them instead of rebuilding (fastcc-serve's restart
+// path). Opening a directory scavenges anonymous and corrupt leftovers.
+func ConfigureSpill(dir string, budget int64, persist bool) error {
+	return core.ConfigureSpill(dir, budget, persist)
+}
+
+// SpillFaultStats counts spill read-back and write failures by typed cause;
+// every counted fault corresponds to one graceful fallback to rebuild.
+type SpillFaultStats = core.SpillFaultSnapshot
+
+// SpillFaults reports the process-wide spill fault counters.
+func SpillFaults() SpillFaultStats { return core.SpillFaults() }
 
 // WithTenant charges every shard this run builds or reuses to the named
 // tenant's cache account: the shard bytes count against the tenant's quota
@@ -401,7 +449,7 @@ func Contract(l, r *Tensor, spec Spec, opts ...Option) (*Tensor, *Stats, error) 
 	// self-contraction (same tensor, same contracted modes) shares one
 	// prepared operand so it is linearized and sharded exactly once.
 	t0 := time.Now()
-	lsh, err := preshardValidated(l, spec.CtrLeft)
+	lsh, err := preshardValidated(l, spec.CtrLeft, "")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -411,7 +459,7 @@ func Contract(l, r *Tensor, spec Spec, opts ...Option) (*Tensor, *Stats, error) 
 	defer lsh.Drop()
 	rsh := lsh
 	if !(r == l && sameModes(spec.CtrLeft, spec.CtrRight)) {
-		rsh, err = preshardValidated(r, spec.CtrRight)
+		rsh, err = preshardValidated(r, spec.CtrRight, "")
 		if err != nil {
 			return nil, nil, err
 		}

@@ -9,4 +9,5 @@ type checkedShard struct{}
 
 func (s *Shard) stampBuilt()       {}
 func (s *Shard) stampRetired()     {}
+func (s *Shard) stampSpilled()     {}
 func (s *Shard) checkBuilt(string) {}

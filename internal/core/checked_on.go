@@ -10,11 +10,13 @@ package core
 import "fmt"
 
 // shardBuiltGen marks a Shard whose build completed; shardRetiredGen marks
-// one whose storage was reclaimed by eviction or Drop. The zero value's 0
-// fails checkBuilt like any other non-live stamp.
+// one whose storage was reclaimed by eviction or Drop; shardSpilledGen marks
+// one whose tables were reclaimed after their image moved to the disk tier.
+// The zero value's 0 fails checkBuilt like any other non-live stamp.
 const (
 	shardBuiltGen   uint32 = 0x5A4DB001
 	shardRetiredGen uint32 = 0x5A4DDEAD
+	shardSpilledGen uint32 = 0x5A4D5B11
 )
 
 type checkedShard struct {
@@ -23,6 +25,7 @@ type checkedShard struct {
 
 func (s *Shard) stampBuilt()   { s.ck.gen = shardBuiltGen }
 func (s *Shard) stampRetired() { s.ck.gen = shardRetiredGen }
+func (s *Shard) stampSpilled() { s.ck.gen = shardSpilledGen }
 
 func (s *Shard) checkBuilt(op string) {
 	switch s.ck.gen {
@@ -30,6 +33,10 @@ func (s *Shard) checkBuilt(op string) {
 	case shardRetiredGen:
 		panic(fmt.Sprintf(
 			"core.Shard.%s: generation check failed (gen=%#x): shard was recycled — a reader reached a retired shard's tables without holding a pin",
+			op, s.ck.gen))
+	case shardSpilledGen:
+		panic(fmt.Sprintf(
+			"core.Shard.%s: generation check failed (gen=%#x): shard was reclaimed mid-spill — its tables moved to the disk tier and a reader kept a reference to the old in-RAM shard",
 			op, s.ck.gen))
 	default:
 		panic(fmt.Sprintf(

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"fastcc/internal/coo"
@@ -28,6 +29,40 @@ func TestShardGenerationCheck(t *testing.T) {
 	}()
 	if got := unbuilt.sealedAt(0); got != nil {
 		t.Fatalf("sealedAt(0) = %v on an empty tile array, want nil", got)
+	}
+}
+
+// TestSpilledShardGenerationCheck: a shard whose tables were reclaimed after
+// its image moved to the disk tier carries the spilled generation stamp; any
+// reader that kept a reference to the old in-RAM shard across the spill must
+// hit the mid-spill panic under fastcc_checked. The shard is forged the same
+// way TestShardGenerationCheck does — a genuinely spilled shard nils its
+// sealed slice, so reaching the stamp check in a normal build requires the
+// slice to still be allocated.
+func TestSpilledShardGenerationCheck(t *testing.T) {
+	spilled := &Shard{
+		Key:    ShardKey{Tile: 4, Rep: RepHash},
+		sealed: make([]*hashtable.Sealed, 1), //fastcc:allow sealedmut -- test forges a mid-spill shard on purpose
+	}
+	spilled.stampBuilt()
+	spilled.stampSpilled()
+	defer func() {
+		r := recover()
+		if mempool.Checked {
+			if r == nil {
+				t.Fatal("fastcc_checked build read tiles of a shard reclaimed mid-spill")
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "mid-spill") {
+				t.Fatalf("panic %v, want the mid-spill generation message", r)
+			}
+		}
+		if !mempool.Checked && r != nil {
+			t.Fatalf("normal build panicked: %v", r)
+		}
+	}()
+	if got := spilled.sealedAt(0); got != nil {
+		t.Fatalf("sealedAt(0) = %v on a spilled stub, want nil", got)
 	}
 }
 

@@ -62,6 +62,14 @@ type Config struct {
 	// platform LLC (L3Bytes × DefaultBudgetLLCMultiple). Applied — and
 	// enforced — at the start of every run; the last run's setting wins.
 	CacheBudget int64
+	// SpillDir, when non-empty, enables the disk tier (spill.go): shards
+	// the budget evicts are serialized there and reloaded at the next pin
+	// instead of rebuilt. SpillBudget bounds the directory in bytes (<= 0
+	// unlimited). Like CacheBudget, applied at the start of the run; an
+	// EMPTY SpillDir leaves the process-wide spill configuration unchanged
+	// (use ConfigureSpill to disable the tier explicitly).
+	SpillDir    string
+	SpillBudget int64
 	// Tenant, when non-empty, charges every shard this run builds or reuses
 	// to the named tenant's cache account (tenant.go): the shard bytes count
 	// against the tenant's quota, quota overruns are settled by evicting the
@@ -150,7 +158,11 @@ func ContractOperands(l, r *Operand, cfg Config) (*mempool.List[Triple], *Stats,
 	if cfg.Platform == (model.Platform{}) {
 		cfg.Platform = model.Auto()
 	}
-	// (Re)apply this run's shard-cache budget before any build charges it.
+	// (Re)apply this run's shard-cache budget and spill configuration
+	// before any build charges the cache or any eviction could spill.
+	if err := configureSpill(cfg.SpillDir, cfg.SpillBudget); err != nil {
+		return nil, nil, err
+	}
 	shardLRU.setBudget(resolveBudget(cfg.CacheBudget, cfg.Platform))
 	threads := scheduler.Workers(cfg.Threads)
 	st := &Stats{Threads: threads}

@@ -228,20 +228,31 @@ func assertBitIdentical(t *testing.T, what string, want, got *coo.Tensor) {
 // that do not divide the block sides — and checks both representations
 // against the reference. Seeds pin the partial-edge-block cases; the budget
 // seeds force mid-sequence eviction (shards reclaimed between the hash and
-// sorted runs) through adversarially small CacheBudget values.
+// sorted runs) through adversarially small CacheBudget values; the spill
+// seeds route those evictions through the disk tier (including budgets tiny
+// enough that the spill write itself fails over budget and falls back),
+// so reload, adoption-miss and fallback paths all fuzz under arbitrary
+// non-dividing tile geometry.
 func FuzzContractTiling(f *testing.F) {
-	f.Add(int64(1), uint16(100), uint16(90), uint16(30), uint16(7), uint16(13), uint16(600), uint16(0))
-	f.Add(int64(2), uint16(257), uint16(129), uint16(17), uint16(16), uint16(16), uint16(900), uint16(0)) // pow2 tiles, odd extents
-	f.Add(int64(3), uint16(64), uint16(64), uint16(8), uint16(64), uint16(64), uint16(200), uint16(0))    // single tile
-	f.Add(int64(4), uint16(500), uint16(3), uint16(50), uint16(1), uint16(1), uint16(800), uint16(0))     // 1x1 tiles, skewed grid
-	f.Add(int64(5), uint16(33), uint16(470), uint16(25), uint16(10), uint16(100), uint16(700), uint16(0)) // blocks clip at both edges
-	f.Add(int64(6), uint16(100), uint16(90), uint16(30), uint16(7), uint16(13), uint16(600), uint16(1))   // 1-byte budget: evict everything
-	f.Add(int64(7), uint16(257), uint16(129), uint16(17), uint16(16), uint16(16), uint16(900), uint16(4096))
+	f.Add(int64(1), uint16(100), uint16(90), uint16(30), uint16(7), uint16(13), uint16(600), uint16(0), uint16(0))
+	f.Add(int64(2), uint16(257), uint16(129), uint16(17), uint16(16), uint16(16), uint16(900), uint16(0), uint16(0)) // pow2 tiles, odd extents
+	f.Add(int64(3), uint16(64), uint16(64), uint16(8), uint16(64), uint16(64), uint16(200), uint16(0), uint16(0))    // single tile
+	f.Add(int64(4), uint16(500), uint16(3), uint16(50), uint16(1), uint16(1), uint16(800), uint16(0), uint16(0))     // 1x1 tiles, skewed grid
+	f.Add(int64(5), uint16(33), uint16(470), uint16(25), uint16(10), uint16(100), uint16(700), uint16(0), uint16(0)) // blocks clip at both edges
+	f.Add(int64(6), uint16(100), uint16(90), uint16(30), uint16(7), uint16(13), uint16(600), uint16(1), uint16(0))   // 1-byte budget: evict everything
+	f.Add(int64(7), uint16(257), uint16(129), uint16(17), uint16(16), uint16(16), uint16(900), uint16(4096), uint16(0))
 	// Batched-probe boundary: ~62 distinct contraction keys per tile — not a
 	// multiple of the probe batch width — so LookupBatch's remainder chunk is
 	// exercised on the hash-rep leg of every fuzz execution of this seed.
-	f.Add(int64(8), uint16(120), uint16(110), uint16(61), uint16(40), uint16(40), uint16(800), uint16(0))
-	f.Fuzz(func(t *testing.T, seed int64, extL16, extR16, ctr16, tl16, tr16, nnz16, budget16 uint16) {
+	f.Add(int64(8), uint16(120), uint16(110), uint16(61), uint16(40), uint16(40), uint16(800), uint16(0), uint16(0))
+	// Disk-tier seeds: 1-byte cache budget spills every cold shard, with
+	// non-dividing tile sides so partial remainder tiles round-trip through
+	// the spill encoding. Seed 10's 48-byte spill budget cannot hold any
+	// real shard image — every spill attempt fails over budget and must
+	// fall back to plain eviction + rebuild.
+	f.Add(int64(9), uint16(100), uint16(90), uint16(30), uint16(7), uint16(13), uint16(600), uint16(1), uint16(32768))
+	f.Add(int64(10), uint16(257), uint16(129), uint16(17), uint16(23), uint16(31), uint16(900), uint16(1), uint16(48))
+	f.Fuzz(func(t *testing.T, seed int64, extL16, extR16, ctr16, tl16, tr16, nnz16, budget16, spill16 uint16) {
 		extL := uint64(extL16%1000) + 1
 		extR := uint64(extR16%1000) + 1
 		ctr := uint64(ctr16%100) + 1
@@ -253,6 +264,19 @@ func FuzzContractTiling(f *testing.F) {
 		budget := int64(-1)
 		if budget16 != 0 {
 			budget = int64(budget16)
+		}
+		// Nonzero spill16 enables the disk tier with that byte budget for
+		// this execution only; corrupt round trips are impossible here, so
+		// whatever the geometry, the outputs below must stay bit-identical.
+		if spill16 != 0 {
+			if err := ConfigureSpill(t.TempDir(), int64(spill16), false); err != nil {
+				t.Fatalf("ConfigureSpill: %v", err)
+			}
+			defer func() {
+				if err := ConfigureSpill("", 0, false); err != nil {
+					t.Errorf("disabling spill: %v", err)
+				}
+			}()
 		}
 		rng := rand.New(rand.NewSource(seed))
 		l := randomMatrix(rng, extL, ctr, nnz)

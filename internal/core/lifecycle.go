@@ -16,7 +16,10 @@
 //   - Every built shard is charged to one process-wide LRU (shardLRU).
 //     When the resident footprint exceeds the budget, the coldest
 //     unpinned shards are retired, unmapped from their owning Operand,
-//     and their sealed arenas recycled through mempool.
+//     and their sealed arenas recycled through mempool — unless a spill
+//     directory is configured, in which case the tables are serialized to
+//     the disk tier first (spill.go) and the next pin reloads them instead
+//     of rebuilding: RAM → disk → rebuild instead of RAM → rebuild.
 //   - Operand.Close / the prepared API's Drop mark every cached shard
 //     doomed: unpinned shards are reclaimed immediately, pinned ones at
 //     their last Unpin. The Operand itself stays usable — the next Shard
@@ -33,13 +36,18 @@ import (
 	"fastcc/internal/lockcheck"
 	"fastcc/internal/metrics"
 	"fastcc/internal/model"
+	"fastcc/internal/spill"
 )
 
-// Shard lifetime state word layout (Shard.state).
+// Shard lifetime state word layout (Shard.state). A spilled shard carries
+// retired|spilled: the retired bit is what keeps tryPin failing (its RAM
+// tables are gone), the spilled bit records that a disk image exists —
+// Operand.Shard turns that stub into a reload instead of a rebuild.
 const (
 	shardRetired = uint64(1) << 0 // storage reclaimed or queued for it; pins must fail
 	shardDoomed  = uint64(1) << 1 // Close/Drop called; retire at refcount zero
-	shardPinInc  = uint64(1) << 2 // one pin reference
+	shardSpilled = uint64(1) << 2 // RAM tables reclaimed, image lives on the disk tier
+	shardPinInc  = uint64(1) << 3 // one pin reference
 )
 
 // DefaultBudgetLLCMultiple sizes the default shard-cache budget as a
@@ -79,10 +87,10 @@ func (s *Shard) mustPin() {
 // deferred half of that drop.
 func (s *Shard) Unpin() {
 	st := s.state.Add(^(shardPinInc) + 1) // state -= shardPinInc
-	if st>>2 > uint64(1)<<40 {
+	if st>>3 > uint64(1)<<40 {
 		panic("core: Shard.Unpin without a matching pin")
 	}
-	if st&shardDoomed != 0 && st&shardRetired == 0 && st>>2 == 0 {
+	if st&shardDoomed != 0 && st&shardRetired == 0 && st>>3 == 0 {
 		if s.tryRetire() {
 			shardLRU.finishRetire(s, &shardLRU.counters.Drops)
 		}
@@ -94,7 +102,7 @@ func (s *Shard) Unpin() {
 func (s *Shard) tryRetire() bool {
 	for {
 		st := s.state.Load()
-		if st&shardRetired != 0 || st>>2 != 0 {
+		if st&shardRetired != 0 || st>>3 != 0 {
 			return false
 		}
 		if s.state.CompareAndSwap(st, st|shardRetired) {
@@ -122,7 +130,7 @@ func (s *Shard) doom() {
 
 // pinned reports whether any pin is currently held (a racy gauge, used only
 // for stats).
-func (s *Shard) pinnedNow() bool { return s.state.Load()>>2 != 0 }
+func (s *Shard) pinnedNow() bool { return s.state.Load()>>3 != 0 }
 
 // shardCache is the process-wide byte-budgeted LRU over every built shard.
 // Shards are linked intrusively (lruPrev/lruNext on Shard), head most
@@ -272,11 +280,19 @@ func (c *shardCache) enforceLocked() []*Shard {
 	return victims
 }
 
-// reap unmaps and recycles eviction victims outside the cache lock.
+// reap unmaps and recycles eviction victims outside the cache lock. With a
+// spill directory configured, each victim is offered to the disk tier
+// first: a successful spill leaves the shard mapped as a spilled stub
+// (retired, tables recycled, disk handle installed) that the next
+// Operand.Shard reloads instead of rebuilding. Either way the eviction is
+// counted — spilling is what eviction does, not an alternative to it.
 func (c *shardCache) reap(victims []*Shard) {
 	for _, s := range victims {
 		c.counters.Evictions.Add(1)
 		c.counters.EvictedBytes.Add(s.bytes)
+		if trySpill(s) {
+			continue
+		}
 		s.owner.unmap(s)
 		s.recycle()
 	}
@@ -293,6 +309,8 @@ func (c *shardCache) stats() metrics.CacheSnapshot {
 		}
 	}
 	c.mu.Unlock()
+	files, bytes, _ := SpillDirStats()
+	snap.SpillFiles, snap.SpillDiskBytes = int64(files), bytes
 	return snap
 }
 
@@ -358,13 +376,26 @@ func (o *Operand) unmap(s *Shard) {
 func (o *Operand) Close() {
 	o.mu.Lock()
 	doomed := make([]*Shard, 0, len(o.shards))
+	var handles []*spill.Handle
 	for k, s := range o.shards {
-		doomed = append(doomed, s)
+		// Spilled stubs have nothing in RAM to doom; what they own is the
+		// disk image, taken here under o.mu (doom's tryRetire would fail on
+		// the already-retired stub and leak the file).
+		if h := s.takeSpillLocked(); h != nil {
+			handles = append(handles, h)
+		} else {
+			doomed = append(doomed, s)
+		}
 		delete(o.shards, k)
 	}
 	o.mu.Unlock()
 	for _, s := range doomed {
 		s.doom()
+	}
+	// Keep-mode directories turn the dropped images into orphans adoptable
+	// by a restarted process; otherwise Release deletes them.
+	for _, h := range handles {
+		h.Dir().Release(h)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fastcc/internal/hashtable"
 	"fastcc/internal/lockcheck"
 	"fastcc/internal/scheduler"
+	"fastcc/internal/spill"
 )
 
 // Operand wraps a matrixized contraction operand together with a cache of
@@ -25,6 +26,12 @@ type Operand struct {
 
 	mu     lockcheck.Mutex[operandRank] //fastcc:lockrank 2 exclusive -- never nested with shardLRU.mu, in either order
 	shards map[ShardKey]*Shard
+
+	// spillKey is the content key naming this operand's spill files (empty
+	// for anonymous operands, set by NewKeyedOperand); spillID is the lazy
+	// process-local name anonymous operands spill under. Guarded by mu.
+	spillKey string
+	spillID  string
 }
 
 // operandRank pins Operand.mu into the dynamic lock-rank hierarchy
@@ -43,6 +50,19 @@ func (operandRank) RankLabel() string     { return "Operand.mu" }
 func NewOperand(m *coo.Matrix) *Operand {
 	m.Stamp()
 	return &Operand{Mat: m, shards: make(map[ShardKey]*Shard)}
+}
+
+// NewKeyedOperand is NewOperand for content-addressed operands: key (the
+// server uses the hex content hash of the canonical tensor encoding) names
+// this operand's spill files, so a keep-mode spill directory lets a
+// restarted process that derives the same key adopt the previous process's
+// on-disk shard images instead of rebuilding them. Two live operands with
+// the same key share the namespace safely — the generation stamp turns a
+// concurrent overwrite into a typed ErrStale fallback, never a wrong read.
+func NewKeyedOperand(m *coo.Matrix, key string) *Operand {
+	o := NewOperand(m)
+	o.spillKey = sanitizeSpillKey(key)
+	return o
 }
 
 // ShardKey is the shard-compatibility contract: a contraction can reuse a
@@ -82,6 +102,14 @@ type Shard struct {
 	lruPrev, lruNext *Shard
 	inLRU            bool
 	claims           []string // tenant IDs charged for this shard (tenant.go), guarded by shardLRU.mu
+
+	// spill is the disk-tier image of a spilled shard (spill.go), installed
+	// by trySpill and taken by whoever reloads or drops the stub; guarded by
+	// the owner's mu. spillClaims captures the claim list at retirement so
+	// spill round trips credit the tenants that had the shard warm; guarded
+	// by shardLRU.mu.
+	spill       *spill.Handle
+	spillClaims []string
 
 	ck checkedShard // generation stamp; zero-sized unless built with fastcc_checked
 }
@@ -146,31 +174,58 @@ func (s *Shard) TileBytes() int64 {
 // Stats reports as shard reuse).
 //
 // A mapped shard that eviction has retired but not yet unmapped is detected
-// by the pin failing; the stale entry is replaced and rebuilt here, which is
-// why the loop exists.
+// by the pin failing. If the retirement spilled the tables to the disk tier,
+// the successor shard reloads them from the spill file; otherwise (and on
+// any typed read-back failure) it rebuilds from the operand. Content-keyed
+// operands additionally probe the spill directory's orphans on a cold miss,
+// adopting a previous process's image when one matches.
 func (o *Operand) Shard(key ShardKey, threads int) (*Shard, bool) {
-	for {
-		o.mu.Lock()
-		if s, ok := o.shards[key]; ok {
-			if s.tryPin() {
-				o.mu.Unlock()
-				<-s.built
-				shardLRU.counters.Hits.Add(1)
-				shardLRU.touch(s)
-				return s, false
-			}
-			delete(o.shards, key) // retired under us: drop the stale entry and rebuild
+	o.mu.Lock()
+	var (
+		h         *spill.Handle
+		adopted   bool
+		oldClaims []string
+	)
+	if s, ok := o.shards[key]; ok {
+		if s.tryPin() {
+			o.mu.Unlock()
+			<-s.built
+			shardLRU.counters.Hits.Add(1)
+			shardLRU.touch(s)
+			return s, false
 		}
-		s := &Shard{Key: key, owner: o, built: make(chan struct{})}
-		s.state.Store(shardPinInc) // born pinned: the builder's reference is the caller's
-		o.shards[key] = s
-		o.mu.Unlock()
-		shardLRU.counters.Misses.Add(1)
-		s.build(o.Mat, threads)
-		close(s.built)
-		shardLRU.insert(s)
-		return s, true
+		// Retired under us. A spilled stub hands its disk image (and the
+		// tenants it was warm for) to the successor built below; anything
+		// else is a plain stale entry headed for rebuild.
+		h = s.takeSpillLocked()
+		oldClaims = s.spillClaims
+		delete(o.shards, key)
+	} else {
+		h = o.adoptSpillLocked(key)
+		adopted = h != nil
 	}
+	ns := &Shard{Key: key, owner: o, built: make(chan struct{})}
+	ns.state.Store(shardPinInc) // born pinned: the builder's reference is the caller's
+	o.shards[key] = ns
+	o.mu.Unlock()
+	// Concurrent fetchers of the same key now wait on ns.built, so the
+	// reload (or rebuild) below runs exactly once — same singleflight as a
+	// plain build.
+	if h != nil && ns.loadSpill(h, o.Mat) {
+		close(ns.built)
+		shardLRU.counters.Hits.Add(1)
+		if adopted {
+			shardLRU.counters.SpillAdopts.Add(1)
+		}
+		creditTenantSpill(oldClaims, 0, false)
+		shardLRU.insert(ns)
+		return ns, false
+	}
+	shardLRU.counters.Misses.Add(1)
+	ns.build(o.Mat, threads)
+	close(ns.built)
+	shardLRU.insert(ns)
+	return ns, true
 }
 
 // Cached reports whether a completed, still-live shard for key is available

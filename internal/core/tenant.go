@@ -38,6 +38,10 @@ type tenantAccount struct {
 
 	hits, misses            int64 // this tenant's shard fetches: cached vs built
 	evictions, evictedBytes int64 // quota-driven retirements of its claims
+
+	// Disk-tier round trips of shards this tenant had claimed at eviction
+	// time (spill.go credits these via the shard's captured claim list).
+	spillWrites, spillReads, spillBytes int64
 }
 
 // overQuota reports whether the account's resident charge exceeds its quota.
@@ -89,7 +93,11 @@ func (c *shardCache) unclaimAllLocked(s *Shard) {
 			a.shards--
 		}
 	}
-	s.claims = nil //fastcc:allow sealedmut -- claim list, lifecycle state guarded by shardLRU.mu
+	// Keep the claimant list on the shard past the uncharge: if this
+	// retirement spills the tables, the disk-tier round trip is credited to
+	// the tenants that had the shard warm (creditTenantSpill).
+	s.spillClaims = s.claims //fastcc:allow sealedmut -- spill-credit list, guarded by shardLRU.mu
+	s.claims = nil           //fastcc:allow sealedmut -- claim list, lifecycle state guarded by shardLRU.mu
 }
 
 // claimShard charges s to tenant's account (once per tenant per shard
@@ -206,6 +214,9 @@ func (c *shardCache) tenantSnapshotLocked(id string, a *tenantAccount) metrics.T
 		Misses:       a.misses,
 		Evictions:    a.evictions,
 		EvictedBytes: a.evictedBytes,
+		SpillWrites:  a.spillWrites,
+		SpillReads:   a.spillReads,
+		SpillBytes:   a.spillBytes,
 	}
 	for s := c.head; s != nil; s = s.lruNext {
 		if s.pinnedNow() && s.claimedByLocked(id) {

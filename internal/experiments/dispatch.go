@@ -21,6 +21,7 @@ var runners = map[string]func(Config, string) error{
 	"reuse":      func(c Config, _ string) error { return RunReuse(c) },
 	"buildscale": func(c Config, _ string) error { return RunBuildScale(c) },
 	"hotpath":    RunHotpath,
+	"spill":      func(c Config, _ string) error { return RunSpill(c) },
 }
 
 // Names lists the available experiments in stable order.
@@ -36,7 +37,7 @@ func Names() []string {
 // Run dispatches one experiment by name; "all" runs everything in order.
 func Run(cfg Config, name, suite string) error {
 	if name == "all" {
-		for _, n := range []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablate", "model", "phases", "reuse", "buildscale", "hotpath"} {
+		for _, n := range []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablate", "model", "phases", "reuse", "buildscale", "hotpath", "spill"} {
 			fmt.Fprintf(cfg.writer(), "\n===== %s =====\n\n", n)
 			if err := Run(cfg, n, suite); err != nil {
 				return err

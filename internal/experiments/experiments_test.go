@@ -188,7 +188,7 @@ func TestDispatch(t *testing.T) {
 		t.Fatal("unknown experiment should error")
 	}
 	names := Names()
-	if len(names) != 13 {
+	if len(names) != 14 {
 		t.Fatalf("Names() = %v", names)
 	}
 	if err := Run(cfg, "model", "all"); err != nil {

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"fastcc"
+	"fastcc/internal/core"
+)
+
+// SpillResult is one case of the disk-tier experiment, serialized into
+// BENCH_spill.json: the same evict-then-contract cycle timed twice, once
+// with the spill tier disabled (eviction discards the shard, the next run
+// rebuilds it from the linearized operand) and once with it enabled
+// (eviction writes the shard image to disk, the next run re-pins it from
+// the spill file).
+type SpillResult struct {
+	Case string `json:"case"`
+	// RebuildSeconds is the contract after a plain eviction: shard tables
+	// are gone and the run pays linearize-order build again.
+	RebuildSeconds float64 `json:"rebuild_seconds"`
+	// RepinSeconds is the contract after a spill eviction: the run reads
+	// the shard image back from disk instead of rebuilding.
+	RepinSeconds float64 `json:"repin_seconds"`
+	// ShardReused is the re-pin run's Stats.ShardReused (must be true —
+	// a reload counts as a cache hit).
+	ShardReused bool `json:"shard_reused"`
+	// SpillReads is how many shard images the re-pin leg loaded from disk.
+	SpillReads int64 `json:"spill_reads"`
+	// Speedup is RebuildSeconds / RepinSeconds.
+	Speedup float64 `json:"speedup"`
+}
+
+// SpillReport is the full experiment output: per-case comparisons plus the
+// geometric-mean speedup of re-pinning from disk over rebuilding.
+type SpillReport struct {
+	Cases          []SpillResult `json:"cases"`
+	GeomeanSpeedup float64       `json:"geomean_speedup"`
+}
+
+// RunSpill measures what the disk tier buys: for each FROSTT-shaped
+// self-contraction it preshards the operands, then repeatedly evicts the
+// sealed shard and times the next ContractPrepared — first with no spill
+// directory (the eviction discards the tables, so the timed run rebuilds),
+// then with one (the eviction spills, so the timed run re-pins from disk).
+// The re-pin runs must report ShardReused with zero spill fallbacks; a
+// corrupt or failed reload would silently degrade into the rebuild path and
+// invalidate the comparison.
+func RunSpill(cfg Config) error {
+	dir, err := os.MkdirTemp("", "fastcc-bench-spill-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	var report SpillReport
+	logSum, logN := 0.0, 0
+	for _, cs := range Catalog() {
+		if cs.Suite != "frostt" {
+			continue
+		}
+		l, r, spec, err := cs.Load(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := measureSpill(cfg, dir, cs.ID, l, r, spec)
+		if err != nil {
+			return fmt.Errorf("spill %s: %w", cs.ID, err)
+		}
+		report.Cases = append(report.Cases, res)
+		if res.Speedup > 0 {
+			logSum += math.Log(res.Speedup)
+			logN++
+		}
+	}
+	if logN > 0 {
+		report.GeomeanSpeedup = math.Exp(logSum / float64(logN))
+	}
+	enc := json.NewEncoder(cfg.writer())
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+func measureSpill(cfg Config, dir, id string, l, r *fastcc.Tensor, spec fastcc.Spec) (SpillResult, error) {
+	opts := fastccOpts(cfg)
+
+	// FROSTT cases are self-contractions (l == r), so one Preshard covers
+	// both sides.
+	ls, err := fastcc.Preshard(l, spec.CtrLeft, opts...)
+	if err != nil {
+		return SpillResult{}, err
+	}
+	rs := ls
+	if r != l {
+		if rs, err = fastcc.Preshard(r, spec.CtrRight, opts...); err != nil {
+			return SpillResult{}, err
+		}
+	}
+	// Prime the cache with the model-chosen tile shard.
+	if _, _, err := fastcc.ContractPrepared(ls, rs, opts...); err != nil {
+		return SpillResult{}, err
+	}
+
+	// evictThenContract drops the cached shard through a 1-byte budget —
+	// routed through the spill tier iff one is configured — restores the
+	// budget, and times the next prepared contract.
+	evictThenContract := func() (time.Duration, *fastcc.Stats, error) {
+		best := time.Duration(0)
+		var bestStats *fastcc.Stats
+		for i := 0; i < cfg.repeats(); i++ {
+			core.SetShardBudget(1)
+			core.SetShardBudget(-1)
+			t0 := time.Now()
+			_, st, err := fastcc.ContractPrepared(ls, rs, opts...)
+			if err != nil {
+				return 0, nil, err
+			}
+			if d := time.Since(t0); i == 0 || d < best {
+				best, bestStats = d, st
+			}
+		}
+		return best, bestStats, nil
+	}
+
+	// Leg 1 — no spill tier: eviction discards, the timed run rebuilds.
+	rebuild, rebuildStats, err := evictThenContract()
+	if err != nil {
+		return SpillResult{}, err
+	}
+	if rebuildStats.ShardReused {
+		return SpillResult{}, fmt.Errorf("rebuild leg reused a shard that should have been evicted: %+v", rebuildStats)
+	}
+
+	// Leg 2 — spill tier on: eviction writes the image, the timed run
+	// re-pins it from disk.
+	if err := fastcc.ConfigureSpill(dir, 0, false); err != nil {
+		return SpillResult{}, err
+	}
+	defer func() { _ = fastcc.ConfigureSpill("", 0, false) }()
+	before := fastcc.ShardCacheStats()
+	repin, repinStats, err := evictThenContract()
+	if err != nil {
+		return SpillResult{}, err
+	}
+	after := fastcc.ShardCacheStats()
+	if err := fastcc.ConfigureSpill("", 0, false); err != nil {
+		return SpillResult{}, err
+	}
+	if !repinStats.ShardReused {
+		return SpillResult{}, fmt.Errorf("re-pin leg did not reload from disk: %+v", repinStats)
+	}
+	if fb := after.SpillFallbacks - before.SpillFallbacks; fb != 0 {
+		return SpillResult{}, fmt.Errorf("re-pin leg degraded to rebuild %d times (spill fallbacks)", fb)
+	}
+
+	res := SpillResult{
+		Case:           id,
+		RebuildSeconds: rebuild.Seconds(),
+		RepinSeconds:   repin.Seconds(),
+		ShardReused:    repinStats.ShardReused,
+		SpillReads:     after.SpillReads - before.SpillReads,
+	}
+	if repin > 0 {
+		res.Speedup = rebuild.Seconds() / repin.Seconds()
+	}
+	return res, nil
+}

@@ -1,0 +1,67 @@
+package hashtable
+
+// Spill-restore arena taps: when the shard cache reloads a spilled table
+// from disk (internal/core, spill.go), the dense arrays are decoded straight
+// into storage drawn from the same sealed-arena pools Seal uses, so a
+// restored table recycles exactly like a built one and the pools' leak
+// accounting (Outstanding) stays balanced across spill round trips.
+// DiscardRestore is the failure path's inverse: a decode that dies partway
+// hands back whatever it drew.
+
+// RestoreKeys draws dense-key storage for a spill restore.
+func RestoreKeys(n int) []uint64 { return arenaU64.Get(n) } //fastcc:owned -- stolen by RestoreSealed, recycled by Sealed.Recycle; DiscardRestore on decode failure
+
+// RestoreSpans draws span storage for a spill restore.
+func RestoreSpans(n int) []Span { return arenaSpan.Get(n) } //fastcc:owned -- stolen by RestoreSealed, recycled by Sealed.Recycle; DiscardRestore on decode failure
+
+// RestorePairs draws pair-arena storage for a spill restore.
+func RestorePairs(n int) []Pair { return arenaPair.Get(n) } //fastcc:owned -- stolen by RestoreSealed, recycled by Sealed.Recycle; DiscardRestore on decode failure
+
+// DiscardRestore returns restore storage to the pools when a spill decode
+// fails before RestoreSealed takes ownership. Nil slices are skipped.
+func DiscardRestore(keys []uint64, spans []Span, pairs []Pair) {
+	if keys != nil {
+		arenaU64.Put(keys)
+	}
+	if spans != nil {
+		arenaSpan.Put(spans)
+	}
+	if pairs != nil {
+		arenaPair.Put(pairs)
+	}
+}
+
+// RestoreSealed reassembles the sealed form from its spilled dense content:
+// the stored slot mask plus pool-drawn keys (insertion order), spans and
+// pair arena, exactly as DiscardRestore would have received them. The slot
+// arrays are not stored in spill files — replaying the dense keys through
+// Mix over the stored mask rebuilds a valid open-addressing index, and
+// every lookup resolves to the same dense key index as before the spill,
+// which is all bit-identical contraction output requires. The returned
+// table owns all four slices; Recycle returns everything to the pools.
+//
+//fastcc:sealer -- the spill twin of Seal: the restore path populating a Sealed
+func RestoreSealed(mask uint64, keys []uint64, spans []Span, pairs []Pair) *Sealed {
+	slots := int(mask) + 1
+	s := &Sealed{
+		mask:     mask,
+		slotKeys: arenaU64.Get(slots)[:slots], //fastcc:owned -- recycled by Sealed.Recycle
+		slotIdx:  arenaI32.Get(slots)[:slots], //fastcc:owned -- recycled by Sealed.Recycle
+		keys:     keys,
+		spans:    spans,
+		pairs:    pairs,
+	}
+	for i := range s.slotIdx {
+		s.slotIdx[i] = sliceEmptySlot
+	}
+	for li, k := range keys {
+		slot := Mix(k) & mask
+		for s.slotIdx[slot] != sliceEmptySlot {
+			slot = (slot + 1) & mask
+		}
+		s.slotKeys[slot] = k
+		s.slotIdx[slot] = int32(li)
+	}
+	s.stampLive()
+	return s
+}

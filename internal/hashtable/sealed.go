@@ -102,6 +102,12 @@ func (s *Sealed) slicePairs(sp Span) []Pair {
 // Len returns the number of distinct keys.
 func (s *Sealed) Len() int { return len(s.keys) }
 
+// Mask returns the open-addressing slot mask (slot count - 1). Spill files
+// store it so a restored table is probed over the same slot geometry as the
+// one that was evicted (growth history is not reproducible from the dense
+// arrays alone).
+func (s *Sealed) Mask() uint64 { return s.mask }
+
 // Pairs returns the total number of stored (key, pair) entries.
 func (s *Sealed) Pairs() int { return len(s.pairs) }
 

@@ -118,6 +118,12 @@ type CacheCounters struct {
 	Evictions, EvictedBytes atomic.Int64
 	// Drops counts shards retired by an explicit Close/Drop call.
 	Drops atomic.Int64
+	// SpillWrites/SpillReads count shard images written to and reloaded from
+	// the disk tier; SpillAdopts the subset of reloads served from a previous
+	// process's on-disk files (warm restart); SpillFallbacks the spill writes
+	// and read-backs that failed with a typed error and degraded to a plain
+	// rebuild; SpillBytes the cumulative bytes written to disk.
+	SpillWrites, SpillReads, SpillAdopts, SpillFallbacks, SpillBytes atomic.Int64
 }
 
 // Snapshot returns a plain-value copy of the lifecycle counters. The
@@ -128,11 +134,16 @@ func (c *CacheCounters) Snapshot() CacheSnapshot {
 		return CacheSnapshot{}
 	}
 	return CacheSnapshot{
-		Hits:         c.Hits.Load(),
-		Misses:       c.Misses.Load(),
-		Evictions:    c.Evictions.Load(),
-		EvictedBytes: c.EvictedBytes.Load(),
-		Drops:        c.Drops.Load(),
+		Hits:           c.Hits.Load(),
+		Misses:         c.Misses.Load(),
+		Evictions:      c.Evictions.Load(),
+		EvictedBytes:   c.EvictedBytes.Load(),
+		Drops:          c.Drops.Load(),
+		SpillWrites:    c.SpillWrites.Load(),
+		SpillReads:     c.SpillReads.Load(),
+		SpillAdopts:    c.SpillAdopts.Load(),
+		SpillFallbacks: c.SpillFallbacks.Load(),
+		SpillBytes:     c.SpillBytes.Load(),
 	}
 }
 
@@ -142,16 +153,23 @@ type CacheSnapshot struct {
 	Hits, Misses            int64
 	Evictions, EvictedBytes int64
 	Drops                   int64
+	// Disk-tier lifecycle counters (see CacheCounters).
+	SpillWrites, SpillReads, SpillAdopts, SpillFallbacks, SpillBytes int64
 	// CachedBytes is the resident footprint of every live cached shard;
 	// PinnedBytes the subset currently pinned by in-flight contractions;
 	// Shards the resident shard count.
 	CachedBytes, PinnedBytes, Shards int64
+	// SpillFiles/SpillDiskBytes are the disk-tier residency gauges: spill
+	// files currently on disk and their summed size. Zero when no spill
+	// directory is configured.
+	SpillFiles, SpillDiskBytes int64
 }
 
 // String renders the cache snapshot compactly for logs.
 func (s CacheSnapshot) String() string {
-	return fmt.Sprintf("hits=%d misses=%d evictions=%d evicted_bytes=%d drops=%d cached_bytes=%d pinned_bytes=%d shards=%d",
-		s.Hits, s.Misses, s.Evictions, s.EvictedBytes, s.Drops, s.CachedBytes, s.PinnedBytes, s.Shards)
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d evicted_bytes=%d drops=%d cached_bytes=%d pinned_bytes=%d shards=%d spill_writes=%d spill_reads=%d spill_adopts=%d spill_fallbacks=%d spill_bytes=%d spill_files=%d spill_disk_bytes=%d",
+		s.Hits, s.Misses, s.Evictions, s.EvictedBytes, s.Drops, s.CachedBytes, s.PinnedBytes, s.Shards,
+		s.SpillWrites, s.SpillReads, s.SpillAdopts, s.SpillFallbacks, s.SpillBytes, s.SpillFiles, s.SpillDiskBytes)
 }
 
 // TenantSnapshot is a point-in-time view of one tenant's shard-cache
@@ -177,12 +195,18 @@ type TenantSnapshot struct {
 	// back under its quota; EvictedBytes is their cumulative footprint.
 	// Budget-driven global evictions count in CacheSnapshot, not here.
 	Evictions, EvictedBytes int64
+	// SpillWrites/SpillReads count disk-tier round trips of shards this
+	// tenant had claimed when they were evicted; SpillBytes the cumulative
+	// bytes those writes put on disk. A shard claimed by several tenants
+	// charges each of them, mirroring the resident-byte accounting.
+	SpillWrites, SpillReads, SpillBytes int64
 }
 
 // String renders the tenant snapshot compactly for logs.
 func (s TenantSnapshot) String() string {
-	return fmt.Sprintf("tenant=%s quota=%d bytes=%d pinned=%d shards=%d hits=%d misses=%d evictions=%d evicted_bytes=%d",
-		s.ID, s.QuotaBytes, s.Bytes, s.PinnedBytes, s.Shards, s.Hits, s.Misses, s.Evictions, s.EvictedBytes)
+	return fmt.Sprintf("tenant=%s quota=%d bytes=%d pinned=%d shards=%d hits=%d misses=%d evictions=%d evicted_bytes=%d spill_writes=%d spill_reads=%d spill_bytes=%d",
+		s.ID, s.QuotaBytes, s.Bytes, s.PinnedBytes, s.Shards, s.Hits, s.Misses, s.Evictions, s.EvictedBytes,
+		s.SpillWrites, s.SpillReads, s.SpillBytes)
 }
 
 // Snapshot is a plain-value copy of the counters.

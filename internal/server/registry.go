@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"fastcc"
@@ -51,6 +52,24 @@ type operandEntry struct {
 // modesKey canonicalizes a contracted-modes list into a map key.
 func modesKey(modes []int) string { return fmt.Sprint(modes) }
 
+// spillKey derives the content key naming a prepared operand's spill files:
+// the tensor's content hash plus a contracted-modes tag, so two mode lists
+// over the same tensor (different matrixizations) never share a file name,
+// and a restarted daemon deriving the same hash + modes adopts the previous
+// process's on-disk shard images.
+func spillKey(hash string, modes []int) string {
+	var sb strings.Builder
+	sb.WriteString(hash)
+	sb.WriteString("-m")
+	for i, m := range modes {
+		if i > 0 {
+			sb.WriteByte('_')
+		}
+		fmt.Fprintf(&sb, "%d", m)
+	}
+	return sb.String()
+}
+
 // sharded returns the entry's prepared operand for the given contracted
 // modes, building and caching it on first use. Concurrent requests for the
 // same key share one *Sharded (the heavy per-tile build is cached inside it).
@@ -61,7 +80,7 @@ func (e *operandEntry) sharded(modes []int) (*fastcc.Sharded, error) {
 	if s, ok := e.prepared[key]; ok {
 		return s, nil
 	}
-	s, err := fastcc.Preshard(e.t, modes)
+	s, err := fastcc.PreshardKeyed(e.t, modes, spillKey(e.hash, modes))
 	if err != nil {
 		return nil, err
 	}

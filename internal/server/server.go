@@ -41,6 +41,18 @@ type Config struct {
 	Inflight, Queue int
 	// Timeout bounds each contraction request end to end (default 60s).
 	Timeout time.Duration
+	// SpillDir enables the shard cache's disk tier: shards evicted by the
+	// cache budget or a tenant quota are serialized there and read back on
+	// the next request that needs them. Empty disables spilling.
+	SpillDir string
+	// SpillBudget bounds the spill directory's on-disk bytes (0 = unbounded).
+	SpillBudget int64
+	// SpillPersist keeps spill files of reloaded or dropped shards on disk
+	// as adoptable orphans, so a restarted daemon pointed at the same
+	// SpillDir serves its first requests from the previous process's warm
+	// cache. Without it a clean shutdown leaves the directory empty (and
+	// Close checks that it did).
+	SpillPersist bool
 }
 
 func (c Config) withDefaults() Config {
@@ -82,10 +94,16 @@ type Server struct {
 	baseBytes, baseShards, baseChunks int64
 }
 
-// New creates a Server. The shard-cache gauges observed now become the
-// leak-check baseline for Close.
-func New(cfg Config) *Server {
+// New creates a Server, configuring the spill tier when Config.SpillDir is
+// set (a bad spill directory fails here, not on the first request). The
+// shard-cache gauges observed now become the leak-check baseline for Close.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.SpillDir != "" {
+		if err := fastcc.ConfigureSpill(cfg.SpillDir, cfg.SpillBudget, cfg.SpillPersist); err != nil {
+			return nil, fmt.Errorf("server: opening spill dir: %w", err)
+		}
+	}
 	cs := fastcc.ShardCacheStats()
 	s := &Server{
 		cfg:        cfg,
@@ -105,7 +123,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/contract", s.tenanted(s.handleContract))
 	s.mux.HandleFunc("GET /v1/results/{id}", s.tenanted(s.handleFetchResult))
 	s.mux.HandleFunc("DELETE /v1/results/{id}", s.tenanted(s.handleDeleteResult))
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP surface; mount it on any http.Server.
@@ -144,6 +162,12 @@ func (s *Server) Close() error {
 	}
 	if d := core.OutputChunksOutstanding() - s.baseChunks; d != 0 {
 		leaks = append(leaks, fmt.Sprintf("output chunks %+d", d))
+	}
+	// Without persist-mode, dropping every operand must also have emptied
+	// the spill directory — a surviving file is a disk leak. Persist-mode
+	// intentionally leaves orphans for the next process to adopt.
+	if s.cfg.SpillDir != "" && !s.cfg.SpillPersist && cs.SpillFiles != 0 {
+		leaks = append(leaks, fmt.Sprintf("spill files %d (%d bytes)", cs.SpillFiles, cs.SpillDiskBytes))
 	}
 	if leaks != nil {
 		return fmt.Errorf("server: leak gauges nonzero after shutdown: %v", leaks)

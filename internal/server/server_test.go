@@ -59,7 +59,10 @@ func canon(t *testing.T, x *fastcc.Tensor) *fastcc.Tensor {
 // Server's own leak check passes.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, func(tenant string) *Client) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		hs.Close()

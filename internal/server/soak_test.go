@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
+	"os"
+	"strings"
 	"sync"
 	"testing"
 
@@ -27,31 +29,19 @@ func TestServerSoakManyTenants(t *testing.T) {
 		tenantQuota = 16 << 10
 	)
 
-	srv := New(Config{
+	srv, err := New(Config{
 		Threads:     2,
 		CacheBudget: cacheBudget,
 		TenantQuota: tenantQuota,
 		Inflight:    8,
 		Queue:       2 * tenants,
 	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 
-	var wg sync.WaitGroup
-	errs := make(chan error, tenants)
-	for i := 0; i < tenants; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if err := soakTenant(hs.URL, i); err != nil {
-				errs <- fmt.Errorf("tenant %d: %w", i, err)
-			}
-		}(i)
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		t.Error(err)
-	}
+	hammerTenants(t, hs.URL, tenants)
 
 	// Quiescent: every tenant's run-exit enforcement has settled, so no
 	// account may exceed its quota (pins are all released).
@@ -70,6 +60,91 @@ func TestServerSoakManyTenants(t *testing.T) {
 	hs.Close()
 	if err := srv.Close(); err != nil {
 		t.Errorf("leak check at shutdown: %v", err)
+	}
+}
+
+// TestServerSoakSpillChurn is the disk-tier soak: 128 concurrent tenants
+// against a shard cache so small that almost every working set spills, with
+// a spill directory big enough to keep the evicted shards on disk. Every
+// response must still be bit-identical to a direct contraction (the reload
+// path is on the hot serving path here), and after shutdown both the leak
+// gauges and the spill directory itself must be empty — a surviving .fspl
+// file is a disk leak the server Close reports. Run under -race (the CI
+// gate does).
+func TestServerSoakSpillChurn(t *testing.T) {
+	const (
+		tenants     = 128
+		cacheBudget = 32 << 10 // bytes of RAM tier; forces constant eviction
+		spillBudget = 64 << 20 // disk tier holds what RAM cannot
+		tenantQuota = 16 << 10
+	)
+	spillDir := t.TempDir()
+	// Spill config is process-global; restore the no-spill default so later
+	// tests (and other packages' tests in this binary) are unaffected.
+	defer func() {
+		if err := fastcc.ConfigureSpill("", 0, false); err != nil {
+			t.Errorf("disabling spill: %v", err)
+		}
+	}()
+	base := fastcc.ShardCacheStats()
+
+	srv, err := New(Config{
+		Threads:     2,
+		CacheBudget: cacheBudget,
+		TenantQuota: tenantQuota,
+		Inflight:    8,
+		Queue:       2 * tenants,
+		SpillDir:    spillDir,
+		SpillBudget: spillBudget,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+
+	hammerTenants(t, hs.URL, tenants)
+
+	cs := fastcc.ShardCacheStats()
+	if cs.SpillWrites-base.SpillWrites == 0 {
+		t.Error("soak produced no spill writes — the disk tier was never exercised")
+	}
+
+	hs.Close()
+	// Close's leak check covers the spill-file gauge (SpillPersist is off);
+	// the on-disk check below catches anything the gauge missed.
+	if err := srv.Close(); err != nil {
+		t.Errorf("leak check at shutdown: %v", err)
+	}
+	ents, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatalf("reading spill dir after shutdown: %v", err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".fspl") {
+			t.Errorf("spill file %s survived shutdown", e.Name())
+		}
+	}
+}
+
+// hammerTenants runs n concurrent tenant lives (soakTenant) against baseURL
+// and reports every failure.
+func hammerTenants(t *testing.T, baseURL string, n int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := soakTenant(baseURL, i); err != nil {
+				errs <- fmt.Errorf("tenant %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

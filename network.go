@@ -100,7 +100,7 @@ func EinsumN(expr string, tensors []*Tensor, opts ...Option) (*Tensor, *Plan, er
 			return s, 0, nil
 		}
 		t0 := time.Now()
-		s, err := preshardValidated(t, modes)
+		s, err := preshardValidated(t, modes, "")
 		if err != nil {
 			return nil, 0, err
 		}

@@ -53,7 +53,7 @@ func Preshard(t *Tensor, modes []int, opts ...Option) (*Sharded, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	s, err := preshardValidated(t, modes)
+	s, err := preshardValidated(t, modes, "")
 	if err != nil {
 		return nil, err
 	}
@@ -106,19 +106,58 @@ func (s *Sharded) Warm() bool {
 	return n > 0
 }
 
+// PreshardKeyed is Preshard for content-addressed operands: key names the
+// operand's spill files (the server uses the hex content hash of the
+// canonical tensor encoding plus a contracted-modes tag), so a persistent
+// spill directory (ConfigureSpill with persist=true) lets a restarted
+// process that derives the same key adopt the previous process's on-disk
+// shard images instead of rebuilding them. Everything else — validation,
+// eager builds, reuse semantics — matches Preshard exactly; an empty key
+// degrades to the anonymous Preshard behaviour.
+func PreshardKeyed(t *Tensor, modes []int, key string, opts ...Option) (*Sharded, error) {
+	o, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	probe := Spec{CtrLeft: modes, CtrRight: modes}
+	if err := probe.ValidateModes(t.Order(), t.Order()); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := preshardValidated(t, modes, key)
+	if err != nil {
+		return nil, err
+	}
+	for _, tile := range []uint64{o.tileL, o.tileR} {
+		if tile != 0 {
+			s.op.Warm(core.ShardKey{Tile: tile, Rep: o.rep}, o.threads)
+		}
+	}
+	return s, nil
+}
+
 // preshardValidated wraps an already-validated tensor: linearize (the
-// paper's pre-processing step) and set up the shard cache.
-func preshardValidated(t *Tensor, modes []int) (*Sharded, error) {
+// paper's pre-processing step) and set up the shard cache. A non-empty key
+// makes the operand content-addressed for the spill tier.
+func preshardValidated(t *Tensor, modes []int, key string) (*Sharded, error) {
 	ext := coo.ExternalModes(t.Order(), modes)
 	m, err := t.Matrixize(ext, modes)
 	if err != nil {
 		return nil, err
 	}
+	var op *core.Operand
+	if key != "" {
+		op = core.NewKeyedOperand(m, key)
+	} else {
+		op = core.NewOperand(m)
+	}
 	return &Sharded{
 		t:     t,
 		modes: append([]int(nil), modes...),
 		ext:   ext,
-		op:    core.NewOperand(m),
+		op:    op,
 	}, nil
 }
 
@@ -195,6 +234,8 @@ func contractSharded(l, r *Sharded, o *options, linearize time.Duration) (*Tenso
 		Context:     o.ctx,
 		CacheBudget: o.shardBudget,
 		Tenant:      o.tenant,
+		SpillDir:    o.spillDir,
+		SpillBudget: o.spillBudget,
 	})
 	if err != nil {
 		return nil, nil, err
